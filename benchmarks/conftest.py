@@ -1,0 +1,43 @@
+"""Shared helpers for the per-figure benchmark suite.
+
+Every benchmark module regenerates one paper table/figure via the experiment
+registry at a reduced-but-representative grid (the full grids run through
+``examples/run_all_experiments.py``, whose output backs EXPERIMENTS.md).
+Each bench
+
+* times exactly one full regeneration (``rounds=1`` — these are experiment
+  harnesses, not microbenchmarks),
+* attaches the headline numbers to ``benchmark.extra_info`` so they appear in
+  the benchmark report, and
+* asserts the paper's *shape* claim for that figure.
+"""
+
+import pytest
+
+from repro.harness import format_result, run_experiment
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Run an experiment once under the benchmark timer and report it."""
+
+    def _run(exp_id, **kwargs):
+        result = benchmark.pedantic(
+            lambda: run_experiment(exp_id, **kwargs), rounds=1, iterations=1
+        )
+        print()
+        print(format_result(result))
+        benchmark.extra_info["exp_id"] = exp_id
+        benchmark.extra_info["paper_claim"] = result.paper_claim
+        return result
+
+    return _run
+
+
+def rows_by(result, **filters):
+    """Rows of an ExperimentResult matching all key=value filters."""
+    out = []
+    for row in result.rows:
+        if all(row.get(k) == v for k, v in filters.items()):
+            out.append(row)
+    return out

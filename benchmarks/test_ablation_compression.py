@@ -1,0 +1,43 @@
+"""Ablation — gradient compression for the aggregation step (extension).
+
+SASGD already sparsifies aggregation *in time* (every T steps); this measures
+sparsifying it *in space* too: top-k + error feedback at several densities,
+against dense allreduce, on the bench CIFAR problem.  The interesting
+quantities are aggregation bytes vs achieved accuracy.
+"""
+
+from repro.algos import SASGDOptions, SASGDTrainer, TrainerConfig, cifar_problem
+
+
+def test_ablation_compression(benchmark):
+    p, T, epochs = 4, 4, 10
+
+    def sweep():
+        out = {}
+        for label, kwargs in {
+            "dense": dict(),
+            "topk-10%": dict(compression="topk", k_frac=0.10),
+            "topk-1%": dict(compression="topk", k_frac=0.01),
+        }.items():
+            prob = cifar_problem(scale="bench", seed=5)
+            cfg = TrainerConfig(
+                p=p, epochs=epochs, batch_size=16, lr=0.05, seed=3, eval_every=epochs
+            )
+            res = SASGDTrainer(prob, cfg, SASGDOptions(T=T, **kwargs)).train()
+            out[label] = (res.final_test_acc, res.extras["total_bytes"])
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for label, (acc, nbytes) in results.items():
+        print(f"  {label:10s} acc={acc:.3f}  aggregation bytes={nbytes/2**20:7.1f} MiB")
+        benchmark.extra_info[label] = f"acc={acc:.3f}, {nbytes/2**20:.1f} MiB"
+
+    dense_acc, dense_bytes = results["dense"]
+    acc10, bytes10 = results["topk-10%"]
+    acc1, bytes1 = results["topk-1%"]
+    # compression cuts aggregation traffic hard...
+    assert bytes10 < 0.6 * dense_bytes
+    assert bytes1 < bytes10
+    # ...and 10% density stays within a modest accuracy delta of dense
+    assert acc10 >= dense_acc - 0.15, results

@@ -1,0 +1,42 @@
+"""Ablation — SASGD's global learning rate γp (design choice in DESIGN.md).
+
+The paper leaves the experimental γp unspecified but proves the bound for
+general (γ, γp) and notes γp = 1/p simulates model averaging.  This ablation
+compares the three natural rules at fixed (p, T) on the bench CIFAR problem:
+γ/p (exact averaging), γ/√p (variance-reduction scaling — our default), and
+γ (raw sum).  The raw sum overshoots by a factor p and should not win.
+"""
+
+import math
+
+from repro.algos import SASGDOptions, SASGDTrainer, TrainerConfig, cifar_problem
+
+
+def test_ablation_gamma_p_rule(benchmark):
+    p, lr, epochs = 8, 0.05, 12
+    rules = {
+        "gamma/p": lr / p,
+        "gamma/sqrt(p)": lr / math.sqrt(p),
+        "gamma": lr,
+    }
+
+    def sweep():
+        out = {}
+        for name, gp in rules.items():
+            prob = cifar_problem(scale="bench", seed=5)
+            cfg = TrainerConfig(
+                p=p, epochs=epochs, batch_size=16, lr=lr, seed=3, eval_every=epochs
+            )
+            res = SASGDTrainer(prob, cfg, SASGDOptions(T=4, gamma_p=gp)).train()
+            out[name] = res.final_test_acc
+        return out
+
+    accs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, acc in accs.items():
+        print(f"  gamma_p = {name:14s}: final test acc {acc:.3f}")
+        benchmark.extra_info[name] = round(acc, 3)
+
+    # the raw sum must not beat the scaled rules (it overshoots by ~p)
+    best_scaled = max(accs["gamma/p"], accs["gamma/sqrt(p)"])
+    assert accs["gamma"] <= best_scaled + 0.05, accs

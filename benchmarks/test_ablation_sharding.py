@@ -1,0 +1,39 @@
+"""Ablation — parameter-server shard count.
+
+Paper: "A sharded server alleviates the aggregation speed problem but
+introduces inconsistencies."  This ablation sweeps the shard count at
+paper-scale NLC-F (where the server is the bottleneck) and checks that
+sharding reduces the Downpour epoch time up to an interior optimum, beyond
+which per-request fixed costs (one RPC + apply per shard per round trip)
+dominate — over-sharding a 1.7M-parameter model hurts.
+"""
+
+from repro.harness import TimingWorkload, simulate_epoch_time
+from repro.nn.models import build_nlcf_net
+
+
+def test_ablation_ps_sharding(benchmark):
+    _, _, info = build_nlcf_net()
+    wl = TimingWorkload.from_model_info(info, n_train=2_500)
+
+    def sweep():
+        return {
+            shards: simulate_epoch_time(
+                "downpour", wl, p=8, T=1, epochs=1, n_shards=shards
+            ).epoch_seconds
+            for shards in (1, 2, 4, 8)
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for shards, secs in times.items():
+        print(f"  shards={shards}: epoch={secs:.2f}s")
+        benchmark.extra_info[f"shards{shards}"] = round(secs, 2)
+
+    # sharding initially alleviates the aggregation bottleneck...
+    assert times[2] < times[1]
+    # ...but over-sharding pays a per-request fixed cost per shard, so the
+    # optimum is interior: 8 shards are slower than the best setting
+    best = min(times.values())
+    assert times[8] > best
+    assert times[2] == best or times[4] == best

@@ -1,0 +1,22 @@
+"""Sec. III discussion — the model-averaging heuristics SASGD supersedes.
+
+Paper: "Some implementations average the parameters at the end of learning
+once, and others average the parameters after each minibatch ... Neither
+approaches work in our study.  The former results in very poor training and
+test accuracies, and the latter incurs high communication overhead."
+"""
+
+
+def test_averaging_heuristics(run_figure):
+    result = run_figure("averaging", p=4, epochs=12)
+    acc = {row["method"]: row["final_test_acc"] for row in result.rows}
+
+    # one-shot averaging is the clear loser (paper: "very poor")
+    assert acc["oneshot-averaging"] <= min(
+        acc["minibatch-averaging"], acc["sasgd(T=4)"]
+    ) + 0.05, acc
+
+    # SASGD at T=4 is competitive with per-minibatch averaging while doing
+    # 4x fewer aggregations (the communication-overhead half of the claim is
+    # Fig. 6's territory)
+    assert acc["sasgd(T=4)"] >= acc["minibatch-averaging"] - 0.2, acc

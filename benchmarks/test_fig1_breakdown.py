@@ -1,0 +1,27 @@
+"""Fig. 1 — breakdown of Downpour epoch time into computation/communication.
+
+Paper: "communication dominates for NLC-F, accounting for more than 60% of
+the epoch time.  For CIFAR-10, with 1 learner the communication time is
+around 20%, and increases to about 30% with 8 learners."
+"""
+
+from conftest import rows_by
+
+
+def test_fig1_breakdown(run_figure):
+    result = run_figure("fig1", p_values=(1, 2, 4, 8))
+
+    # NLC-F: communication dominates (>60%) at every learner count
+    for row in rows_by(result, workload="NLC-F"):
+        assert row["comm_%"] > 60.0, row
+
+    # CIFAR-10: a minority share that grows with p
+    cifar = rows_by(result, workload="CIFAR-10")
+    fracs = {row["p"]: row["comm_%"] for row in cifar}
+    assert fracs[1] < fracs[8]
+    assert fracs[1] < 50.0  # minority at p=1
+
+    # communication seconds per learner grow with p on both workloads
+    for wl in ("CIFAR-10", "NLC-F"):
+        comms = [row["comm_s"] for row in rows_by(result, workload=wl)]
+        assert comms[0] < comms[-1] * 10  # grows or at least stays comparable

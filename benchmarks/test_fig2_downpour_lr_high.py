@@ -1,0 +1,16 @@
+"""Fig. 2 — Downpour convergence with the practical learning rate.
+
+Paper: "as p increases, with the same number of epochs, the accuracy gap
+between Downpour and SGD increases ... linear convergence speedup is not
+observed."  (CIFAR-10, γ = 0.1 at paper scale.)
+"""
+
+
+def test_fig2_downpour_practical_lr(run_figure):
+    result = run_figure("fig2", p_values=(1, 8), epochs=12, eval_every=3)
+    acc = {row["p"]: row["final_test_acc"] for row in result.rows}
+    # the sequential baseline clearly beats the heavily-asynchronous run
+    assert acc[1] > acc[8] + 0.05, acc
+    # staleness is the mechanism: p=8 sees stale pushes, p=1 sees none
+    stale = {row["p"]: row["staleness_mean"] for row in result.rows}
+    assert stale[8] > stale[1]

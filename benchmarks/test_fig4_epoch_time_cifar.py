@@ -1,0 +1,29 @@
+"""Fig. 4 — impact of T on SASGD epoch time, CIFAR-10 (paper scale).
+
+Paper: "Increasing T from 1 to 50 reduces the epoch time ... With 8 learners,
+SASGD with T=50 is 1.3 times faster than with T=1 for CIFAR-10 ... The
+speedup with 8 learners is 4.45."
+"""
+
+from conftest import rows_by
+
+
+def test_fig4_epoch_time_cifar(run_figure):
+    result = run_figure("fig4", T_values=(1, 50), p_values=(1, 2, 4, 8))
+    seq = result.rows[0]["epoch_s"]
+
+    t1 = {row["p"]: row["epoch_s"] for row in rows_by(result, T=1)}
+    t50 = {row["p"]: row["epoch_s"] for row in rows_by(result, T=50)}
+
+    # epoch time decreases monotonically with p at both T
+    for series in (t1, t50):
+        times = [series[p] for p in (1, 2, 4, 8)]
+        assert times == sorted(times, reverse=True), times
+
+    # T=50 beats T=1 at 8 learners by a modest factor (paper: 1.3x)
+    ratio = t1[8] / t50[8]
+    assert 1.05 < ratio < 4.0, ratio
+
+    # substantial but sublinear speedup over sequential at 8 learners
+    speedup = seq / t50[8]
+    assert 3.0 < speedup < 8.0, speedup

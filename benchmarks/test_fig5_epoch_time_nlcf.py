@@ -1,0 +1,35 @@
+"""Fig. 5 — impact of T on SASGD epoch time, NLC-F (paper scale).
+
+Paper: "With 8 learners, SASGD with T=50 ... is 9.7 times faster [than T=1]
+for NLC-F.  The speedups with 8 learners are ... 5.35 for NLC-F."  The
+NLC-F T-effect dwarfs CIFAR-10's because minibatch size 1 makes the epoch
+communication-bound.
+"""
+
+from conftest import rows_by
+from repro.harness import run_experiment
+
+
+def test_fig5_epoch_time_nlcf(run_figure):
+    result = run_figure("fig5", T_values=(1, 50), p_values=(1, 2, 4, 8))
+    seq = result.rows[0]["epoch_s"]
+
+    t1 = {row["p"]: row["epoch_s"] for row in rows_by(result, T=1)}
+    t50 = {row["p"]: row["epoch_s"] for row in rows_by(result, T=50)}
+
+    # the T=50/T=1 ratio at 8 learners is large (paper: 9.7x)
+    ratio = t1[8] / t50[8]
+    assert ratio > 3.0, ratio
+
+    # ...and much larger than CIFAR-10's ratio (1.3x vs 9.7x in the paper)
+    cifar = run_experiment("fig4", T_values=(1, 50), p_values=(8,))
+    c_t1 = rows_by(cifar, T=1)[0]["epoch_s"]
+    c_t50 = rows_by(cifar, T=50)[0]["epoch_s"]
+    assert ratio > 1.5 * (c_t1 / c_t50), (ratio, c_t1 / c_t50)
+
+    # good speedup over sequential at T=50 (paper: 5.35x)
+    speedup = seq / t50[8]
+    assert 3.0 < speedup < 9.0, speedup
+
+    # at T=1, NLC-F gains little or nothing from parallelism (comm-bound)
+    assert t1[8] > 0.5 * seq

@@ -1,0 +1,33 @@
+"""Fig. 6 — epoch time of Downpour/EAMSGD/SASGD with 8 learners.
+
+Paper: "With T=1 ... SASGD is much faster than Downpour and EAMSGD due to its
+lower communication complexity.  With T=50, communication time in all three
+approaches is amortized ... All three approaches have similar epoch times."
+"""
+
+from conftest import rows_by
+
+
+def test_fig6_epoch_time_compare(run_figure):
+    result = run_figure("fig6", T_values=(1, 50), p=8)
+
+    for workload in ("CIFAR-10", "NLC-F"):
+        at_t1 = {
+            row["algorithm"]: row["epoch_s"]
+            for row in rows_by(result, workload=workload, T=1)
+        }
+        at_t50 = {
+            row["algorithm"]: row["epoch_s"]
+            for row in rows_by(result, workload=workload, T=50)
+        }
+        # SASGD is the fastest of the three at T=1
+        assert at_t1["sasgd"] <= at_t1["eamsgd"], (workload, at_t1)
+        assert at_t1["sasgd"] <= at_t1["downpour"], (workload, at_t1)
+        # at T=50 everyone is within ~30% of everyone else
+        assert max(at_t50.values()) / min(at_t50.values()) < 1.3, (workload, at_t50)
+
+    # the NLC-F T=1 SASGD advantage is large (paper: >50% time reduction)
+    nlcf_t1 = {
+        row["algorithm"]: row["epoch_s"] for row in rows_by(result, workload="NLC-F", T=1)
+    }
+    assert nlcf_t1["sasgd"] < 0.5 * nlcf_t1["downpour"], nlcf_t1

@@ -1,0 +1,91 @@
+"""Microbenchmarks of the substrate itself (engine, fabric, conv kernel).
+
+These guard the simulation's own performance: the event engine must stay far
+cheaper than the NumPy gradient math it schedules, or the convergence
+experiments' wall time would be dominated by bookkeeping.
+"""
+
+import numpy as np
+
+from repro.cluster import build_binary_tree_topology
+from repro.comm import Fabric, allreduce_ring
+from repro.nn import Conv2d
+from repro.sim import Delay, Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule+resume cost of 10k timer events."""
+
+    def run():
+        eng = Engine()
+
+        def ticker():
+            for _ in range(10_000):
+                yield Delay(1e-6)
+
+        eng.spawn(ticker())
+        eng.run()
+        return eng.now
+
+    now = benchmark(run)
+    assert now > 0
+
+
+def test_fabric_message_throughput(benchmark):
+    """1 000 point-to-point messages across the PCIe tree with contention."""
+
+    def run():
+        eng = Engine()
+        topo = build_binary_tree_topology(8)
+        fab = Fabric(eng, topo, contention=True)
+        a = fab.attach("a", "gpu0")
+        fab.attach("b", "gpu7")
+
+        def sender():
+            for i in range(1_000):
+                yield from a.send("b", ("t", i), None, nbytes=1024.0)
+
+        eng.spawn(sender())
+        eng.run()
+        return fab.total_messages
+
+    assert benchmark(run) == 1_000
+
+
+def test_ring_allreduce_throughput(benchmark):
+    """Full 8-rank ring allreduce of a 0.5M-float buffer (real math)."""
+
+    def run():
+        eng = Engine()
+        topo = build_binary_tree_topology(8)
+        fab = Fabric(eng, topo, contention=False)
+        names = [f"r{i}" for i in range(8)]
+        eps = [fab.attach(names[i], f"gpu{i}") for i in range(8)]
+        arrays = [np.full(506378, float(i), dtype=np.float32) for i in range(8)]
+        out = {}
+
+        def worker(rank):
+            res = yield from allreduce_ring(eps[rank], names, rank, arrays[rank], ctx="m")
+            out[rank] = res
+
+        for i in range(8):
+            eng.spawn(worker(i))
+        eng.run()
+        return out[0]
+
+    result = benchmark(run)
+    assert np.allclose(result, sum(range(8)))
+
+
+def test_conv_forward_backward_kernel(benchmark):
+    """The hot kernel of every convergence experiment (bench-width conv)."""
+    rng = np.random.default_rng(0)
+    conv = Conv2d(16, 32, 3, padding=1, dtype=np.float32, rng=rng)
+    x = rng.standard_normal((16, 16, 16, 16)).astype(np.float32)
+
+    def step():
+        y = conv.forward(x)
+        return conv.backward(y)
+
+    gx = benchmark(step)
+    assert gx.shape == x.shape

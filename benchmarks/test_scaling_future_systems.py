@@ -1,0 +1,24 @@
+"""Conclusion claim — SASGD on future systems with more GPUs.
+
+Paper (Sec. V): "As the number of GPUs in future systems is likely to
+increase, we expect SASGD [to] perform better than ASGD implementations for
+machine learning applications."  Measured on a simulated 4-node (32-GPU)
+cluster: the centralised parameter server's epoch time degrades as learners
+spread across nodes (all traffic funnels through node 0's network link),
+while SASGD's ring allreduce stays several times faster.
+"""
+
+from conftest import rows_by
+
+
+def test_scaling_future_systems(run_figure):
+    result = run_figure("scaling", p_values=(8, 32), n_nodes=4, T=1)
+    sasgd = {row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="sasgd")}
+    downpour = {row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="downpour")}
+
+    # SASGD beats the parameter server at every scale on the cluster...
+    for p in (8, 32):
+        assert sasgd[p] < downpour[p], (p, sasgd, downpour)
+
+    # ...and by a wide margin at 32 learners (the "future systems" point)
+    assert downpour[32] > 2.0 * sasgd[32], (sasgd, downpour)

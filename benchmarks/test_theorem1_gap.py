@@ -1,0 +1,29 @@
+"""Theorem 1 — the ASGD guarantee gap between 1 and p learners.
+
+Paper: "the optimal ASGD convergence rate guarantee for 1 learner and p
+learners can differ by a factor of approximately p/α ... when p=32, α is
+roughly 16 for 50 epochs of updates with CIFAR-10.  The convergence guarantee
+between SGD and ASGD with p=32 can differ by 2."
+"""
+
+import pytest
+
+
+def test_theorem1_gap(run_figure):
+    result = run_figure(
+        "theorem1", alpha_values=(16.0, 24.0, 32.0), p_values=(16, 32, 64, 128)
+    )
+    by_key = {(row["alpha"], row["p"]): row for row in result.rows}
+
+    # the paper's worked example: alpha=16, p=32 -> factor ~2
+    row = by_key[(16.0, 32)]
+    assert row["exact_gap"] == pytest.approx(2.0, rel=0.15)
+    assert row["approx_p_over_alpha"] == 2.0
+
+    # the exact gap tracks p/alpha across the regime
+    for (alpha, p), row in by_key.items():
+        assert row["exact_gap"] == pytest.approx(row["approx_p_over_alpha"], rel=0.6)
+
+    # gap grows with p at fixed alpha
+    gaps = [by_key[(16.0, p)]["exact_gap"] for p in (16, 32, 64, 128)]
+    assert gaps == sorted(gaps)

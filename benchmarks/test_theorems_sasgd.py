@@ -1,0 +1,27 @@
+"""Theorem 2 / Corollary 3 / Theorem 4 — SASGD's convergence bounds.
+
+Paper: the optimal Theorem-2 guarantee at fixed samples S worsens as T grows
+(Theorem 4), so "increasing T always leads to slower convergence in terms of
+epochs"; the number of global updates K needed to enter Corollary 3's
+asymptotic O(1/sqrt(S)) regime "can substantially increase with the increase
+in T".
+"""
+
+
+def test_theorems_sasgd(run_figure):
+    result = run_figure("theorems_sasgd", T_values=(1, 5, 25, 50), p=8, M=64)
+
+    bounds = [row["optimal_bound_at_S"] for row in result.rows]
+    assert bounds == sorted(bounds)  # Theorem 4: monotone in T
+
+    samples = [row["samples_to_target"] for row in result.rows]
+    assert samples == sorted(samples)  # sample complexity grows with T
+    assert samples[-1] > 2 * samples[0]  # and substantially so
+
+    # K threshold: grows with T once T > p (the max{p,T} regime)
+    rows_by_T = {row["T"]: row for row in result.rows}
+    assert rows_by_T[50]["K_threshold_cor3"] > rows_by_T[25]["K_threshold_cor3"]
+
+    # the asymptotic rate itself is T-independent (same S)
+    rates = {row["asymptotic_rate_cor3"] for row in result.rows}
+    assert len(rates) == 1

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Explore epoch time vs (algorithm, p, T) at paper scale — Figs. 1/4/5/6.
+
+Runs the timing-only simulator (full Table I/II message sizes and FLOP
+counts on the calibrated Power8 + 8xK80 machine, no gradient math) over a
+grid and prints epoch seconds, speedups, and communication fractions.
+
+Run:  python examples/epoch_time_explorer.py [--workload cifar|nlcf|both]
+"""
+
+import argparse
+
+from repro.harness import TimingWorkload, simulate_epoch_time
+from repro.nn.models import build_cifar10_cnn, build_nlcf_net
+
+
+def workload(name: str) -> TimingWorkload:
+    if name == "cifar":
+        _, _, info = build_cifar10_cnn()
+        return TimingWorkload.from_model_info(info, n_train=50_000)
+    _, _, info = build_nlcf_net()
+    return TimingWorkload.from_model_info(info, n_train=2_500)
+
+
+def explore(label: str, wl: TimingWorkload, p_values, T_values, algorithms) -> None:
+    seq = simulate_epoch_time("sgd", wl, p=1, T=10**9, epochs=1)
+    print(f"\n=== {label}: m = {wl.param_bytes/2**20:.1f} MiB, "
+          f"M = {wl.batch_size}, sequential epoch = {seq.epoch_seconds:.2f}s ===")
+    header = f"{'algorithm':10s} {'T':>4s} " + "".join(f"{'p=%d' % p:>16s}" for p in p_values)
+    print(header)
+    print("-" * len(header))
+    for algo in algorithms:
+        for T in T_values:
+            cells = []
+            for p in p_values:
+                r = simulate_epoch_time(algo, wl, p=p, T=T, epochs=1)
+                cells.append(
+                    f"{r.epoch_seconds:6.2f}s/{100*r.comm_fraction:3.0f}%"
+                    f"({seq.epoch_seconds/r.epoch_seconds:4.1f}x)"
+                )
+            print(f"{algo:10s} {T:4d} " + "".join(f"{c:>16s}" for c in cells))
+    print("cells: epoch_seconds / comm% (speedup over sequential)")
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--workload", choices=("cifar", "nlcf", "both"), default="both")
+    ap.add_argument("--p", type=int, nargs="+", default=[1, 2, 4, 8])
+    ap.add_argument("--T", type=int, nargs="+", default=[1, 10, 50])
+    ap.add_argument(
+        "--algorithms", nargs="+", default=["sasgd", "downpour", "eamsgd"]
+    )
+    args = ap.parse_args()
+
+    targets = ["cifar", "nlcf"] if args.workload == "both" else [args.workload]
+    for name in targets:
+        label = "CIFAR-10" if name == "cifar" else "NLC-F"
+        explore(label, workload(name), args.p, args.T, args.algorithms)
+
+
+if __name__ == "__main__":
+    main()

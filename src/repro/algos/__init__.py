@@ -1,0 +1,40 @@
+"""Training algorithms: sequential SGD, SASGD, Downpour, EAMSGD, averaging."""
+
+from .averaging import MinibatchAveragingTrainer, OneShotAveragingTrainer
+from .base import (
+    EpochRecord,
+    LearnerWorkload,
+    MetricsTape,
+    Problem,
+    TrainerConfig,
+    TrainResult,
+    evaluate_model,
+)
+from .distributed import DistributedTrainer
+from .downpour import DownpourOptions, DownpourTrainer
+from .eamsgd import EAMSGDOptions, EAMSGDTrainer
+from .problems import cifar_problem, nlcf_problem
+from .sasgd import SASGDOptions, SASGDTrainer
+from .sgd import SequentialSGDTrainer
+
+__all__ = [
+    "DistributedTrainer",
+    "DownpourOptions",
+    "DownpourTrainer",
+    "EAMSGDOptions",
+    "EAMSGDTrainer",
+    "EpochRecord",
+    "LearnerWorkload",
+    "MetricsTape",
+    "MinibatchAveragingTrainer",
+    "OneShotAveragingTrainer",
+    "Problem",
+    "SASGDOptions",
+    "SASGDTrainer",
+    "SequentialSGDTrainer",
+    "TrainResult",
+    "TrainerConfig",
+    "cifar_problem",
+    "evaluate_model",
+    "nlcf_problem",
+]

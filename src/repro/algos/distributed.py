@@ -1,0 +1,168 @@
+"""Shared machinery for the distributed trainers (SASGD/Downpour/EAMSGD).
+
+A distributed trainer owns a simulated :class:`~repro.cluster.Machine`,
+builds one :class:`~repro.algos.base.LearnerWorkload` per learner, attaches
+endpoints to the learners' GPUs, and spawns one engine process per learner
+(plus parameter-server shard processes where applicable).  Subclasses
+implement :meth:`_learner_proc`.
+
+Compute-time model: one minibatch costs
+``device.compute_seconds(flops) × residency`` where residency is how many
+learners share the GPU (the paper's p=16 runs two learners per GPU via CUDA
+MPS, halving each one's throughput).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from ..cluster.machine import Machine, power8_oss_spec
+from ..comm.fabric import Endpoint, Fabric
+from ..sim import Delay
+from .base import (
+    LearnerWorkload,
+    MetricsTape,
+    Problem,
+    TrainerConfig,
+    TrainResult,
+)
+
+__all__ = ["DistributedTrainer"]
+
+
+class DistributedTrainer:
+    """Base class: machine/workload/endpoint plumbing and the train() driver."""
+
+    algorithm = "distributed-base"
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: TrainerConfig,
+        machine: Optional[Machine] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config
+        self.machine = (
+            machine
+            if machine is not None
+            else Machine(power8_oss_spec(n_gpus=8), seed=config.seed)
+        )
+        self.fabric = Fabric(
+            self.machine.engine,
+            self.machine.topology,
+            tracer=self.machine.tracer,
+            contention=config.contention,
+        )
+        p = config.p
+        self.placement = self.machine.place_learners(p)
+        residency = self.machine.residency(self.placement)
+        self.residency = [residency[dev] for dev in self.placement]
+        self.learner_names = [f"learner{i}" for i in range(p)]
+        self.endpoints: List[Endpoint] = [
+            self.fabric.attach(self.learner_names[i], self.placement[i])
+            for i in range(p)
+        ]
+        # 3 rng streams per learner: model init, minibatch order, dropout
+        streams = np.random.SeedSequence(config.seed).spawn(3 * p)
+        self.workloads: List[LearnerWorkload] = [
+            LearnerWorkload(
+                problem,
+                config.batch_size,
+                np.random.default_rng(streams[3 * i]),
+                np.random.default_rng(streams[3 * i + 1]),
+                np.random.default_rng(streams[3 * i + 2]),
+            )
+            for i in range(p)
+        ]
+        # uniform batch sizes keep bulk-synchronous intervals aligned
+        for wl in self.workloads:
+            wl.sampler.drop_last = len(problem.train_set) >= config.batch_size
+        self.tape = MetricsTape(problem, config, clock=lambda: self.machine.engine.now)
+        self._pending_crossings = 0
+
+    # -- helpers for subclasses ---------------------------------------------
+
+    @property
+    def info(self):
+        return self.workloads[0].info
+
+    def steps_per_learner(self) -> int:
+        """Minibatch steps each learner runs so the collective sample count
+        covers ``epochs`` passes."""
+        cfg = self.config
+        total = cfg.epochs * self.problem.n_train
+        return max(1, math.ceil(total / (cfg.p * cfg.batch_size)))
+
+    def compute_step(self, lid: int) -> Generator:
+        """Coroutine: run one minibatch (virtual compute delay + real math).
+
+        Returns the number of epoch boundaries this batch crossed; the tape
+        has already accumulated the window statistics.
+        """
+        wl = self.workloads[lid]
+        idx = wl.next_batch()
+        device = self.machine.devices[self.placement[lid]]
+        dur = device.compute_seconds(wl.batch_flops(len(idx))) * self.residency[lid]
+        name = self.learner_names[lid]
+        self.machine.tracer.begin(name, "compute")
+        yield Delay(dur)
+        self.machine.tracer.end(name, "compute")
+        loss, acc, nb = wl.compute_gradient(idx)
+        return self.tape.on_batch(nb, loss, acc)
+
+    def record_now(self, crossed: int) -> None:
+        """Score/record ``crossed`` epoch boundaries against learner 0."""
+        if crossed > 0:
+            self.tape.record_epochs(crossed, self.workloads[0].model)
+
+    def comm(self, lid: int, coroutine: Generator) -> Generator:
+        """Wrap a communication coroutine in the learner's "comm" span."""
+        result = yield from self.machine.tracer.timed(
+            self.learner_names[lid], "comm", coroutine
+        )
+        return result
+
+    # -- subclass contract ----------------------------------------------------
+
+    def _learner_proc(self, lid: int) -> Generator:
+        raise NotImplementedError
+
+    def _extra_results(self) -> Dict[str, object]:
+        return {}
+
+    def train(self) -> TrainResult:
+        t0 = time.perf_counter()
+        procs = [
+            self.machine.engine.spawn(self._learner_proc(lid), name=self.learner_names[lid])
+            for lid in range(self.config.p)
+        ]
+        self.machine.engine.run()
+        for proc in procs:
+            if not proc.finished:
+                raise RuntimeError(
+                    f"{proc.name} deadlocked: a bulk-synchronous peer died "
+                    "mid-interval (injected failure?) or this is an algorithm bug"
+                )
+        tracer = self.machine.tracer
+        mean_bd = tracer.mean_breakdown(self.learner_names)
+        extras: Dict[str, object] = {
+            "total_bytes": self.fabric.total_bytes,
+            "comm_seconds_per_learner": mean_bd.comm_seconds,
+            "compute_seconds_per_learner": mean_bd.compute_seconds,
+            "comm_fraction": mean_bd.comm_fraction,
+        }
+        extras.update(self._extra_results())
+        return TrainResult(
+            algorithm=self.algorithm,
+            problem=self.problem.name,
+            config=self.config,
+            records=self.tape.records,
+            virtual_seconds=self.machine.engine.now,
+            wall_seconds=time.perf_counter() - t0,
+            extras=extras,
+        )

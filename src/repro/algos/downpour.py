@@ -1,0 +1,115 @@
+"""Downpour ASGD trainer (Dean et al., NIPS'12) — the paper's main baseline.
+
+Each learner keeps a local replica, takes local SGD steps, and every ``T``
+steps pushes its accumulated gradient to the sharded parameter server and
+pulls fresh parameters ("Downpour itself has a version that processes
+multiple minibatches before sending gradients asynchronously to the parameter
+server").  The server applies pushes in arrival order with the same learning
+rate, so a push computed against parameters pulled ``s`` server-updates ago
+lands stale by ``s`` — exactly the uncontrolled staleness the paper blames
+for Downpour's erratic behaviour at p ≥ 8: it depends on the learners'
+relative speeds (device jitter) and their position in the network (queueing
+on the host channel), neither of which the algorithm bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..ps.server import PSClient, ShardedParameterServer
+from .base import Problem, TrainerConfig
+from .distributed import DistributedTrainer
+
+__all__ = ["DownpourOptions", "DownpourTrainer"]
+
+
+@dataclass(frozen=True)
+class DownpourOptions:
+    """``T`` is nfetch = npush (gradient update interval); ``n_shards`` the
+    parameter-server sharding; ``server_lr`` defaults to the learner γ."""
+
+    T: int = 1
+    n_shards: int = 2
+    server_lr: Optional[float] = None
+    local_updates: bool = True  # take local SGD steps between pushes
+    # failure injection: {learner_id: step} kills a learner after that many
+    # steps.  Downpour tolerates this — the remaining learners keep pushing
+    # ("resilience against machine failures", Dean et al.) — unlike SASGD,
+    # whose next allreduce would stall.
+    fail_at: Optional[Dict[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.T < 1:
+            raise ValueError(f"T must be >= 1, got {self.T}")
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+
+
+class DownpourTrainer(DistributedTrainer):
+    """Asynchronous SGD through a sharded parameter server."""
+
+    algorithm = "downpour"
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: TrainerConfig,
+        options: DownpourOptions = DownpourOptions(),
+        machine=None,
+    ) -> None:
+        super().__init__(problem, config, machine)
+        self.options = options
+        server_lr = options.server_lr if options.server_lr is not None else config.lr
+        self.server = ShardedParameterServer(
+            self.machine,
+            self.fabric,
+            size=self.workloads[0].flat.size,
+            n_shards=min(options.n_shards, self.workloads[0].flat.size),
+            learning_rate=server_lr,
+            dtype=self.workloads[0].flat.data.dtype,
+        )
+        # learner 0's initialisation is the shared starting point
+        self.server.set_params(self.workloads[0].flat.copy_data())
+        self.clients = [PSClient(self.server, ep) for ep in self.endpoints]
+
+    def _learner_proc(self, lid: int) -> Generator:
+        wl = self.workloads[lid]
+        client = self.clients[lid]
+        T = self.options.T
+        x = yield from self.comm(lid, client.pull())
+        wl.flat.set_data(x)
+        gs = np.zeros_like(wl.flat.data)
+        total = self.steps_per_learner()
+        fail_after = (self.options.fail_at or {}).get(lid)
+        for step in range(1, total + 1):
+            if fail_after is not None and step > fail_after:
+                return  # injected failure: this learner silently dies
+            crossed = yield from self.compute_step(lid)
+            gs += wl.flat.grad
+            if self.options.local_updates:
+                wl.flat.data -= self.config.lr * wl.flat.grad
+            if crossed:
+                self.record_now(crossed)
+            if step % T == 0 or step == total:
+                def round_trip() -> Generator:
+                    yield from client.push(gs)
+                    fresh = yield from client.pull()
+                    return fresh
+                x = yield from self.comm(lid, round_trip())
+                wl.flat.set_data(x)
+                gs[...] = 0.0
+
+    def _extra_results(self) -> Dict[str, object]:
+        staleness = np.concatenate(
+            [np.asarray(c.staleness_samples, dtype=float) for c in self.clients]
+        ) if any(c.staleness_samples for c in self.clients) else np.zeros(1)
+        return {
+            "T": self.options.T,
+            "n_shards": self.server.layout.n_shards,
+            "pushes_applied": self.server.pushes_applied,
+            "staleness_mean": float(staleness.mean()),
+            "staleness_max": float(staleness.max()),
+        }

@@ -1,0 +1,110 @@
+"""EAMSGD trainer (Zhang, Choromanska & LeCun, NIPS'15) — elastic averaging.
+
+The second baseline: "global gradient aggregation among learners simulates an
+elastic force that links the parameters they compute with a center variable
+stored by the parameter server".  Every ``tau`` local steps learner i runs the
+asynchronous elastic round
+
+    e   = α · (x_i − x̃)        (computed at the server on arrival)
+    x̃  ← x̃ + e                 (center moves toward the learner)
+    x_i ← x_i − e               (learner pulled toward the center)
+
+and otherwise takes momentum SGD steps (the "M" in EAMSGD):
+``v ← δ·v − γ·g ;  x_i ← x_i + v``.  The moving rate follows the EAMSGD
+paper's recipe α = β/p with β = 0.9.
+
+Like Downpour, the exchange crosses the host channel and lands in arrival
+order, so center staleness grows with p; unlike Downpour, the elastic force
+bounds how far replicas drift, which is why it degrades more gracefully
+(paper Fig. 9/10: EAMSGD between SASGD and Downpour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..ps.server import PSClient, ShardedParameterServer
+from .base import Problem, TrainerConfig
+from .distributed import DistributedTrainer
+
+__all__ = ["EAMSGDOptions", "EAMSGDTrainer"]
+
+
+@dataclass(frozen=True)
+class EAMSGDOptions:
+    """``tau`` is the communication period (the paper reuses T for it);
+    ``beta`` sets the moving rate α = β/p; ``momentum`` is δ."""
+
+    tau: int = 1
+    beta: float = 0.9
+    momentum: float = 0.9
+    n_shards: int = 2
+
+    def __post_init__(self) -> None:
+        if self.tau < 1:
+            raise ValueError(f"tau must be >= 1, got {self.tau}")
+        if not (0.0 < self.beta <= 1.0):
+            raise ValueError(f"beta must be in (0, 1], got {self.beta}")
+        if not (0.0 <= self.momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
+
+
+class EAMSGDTrainer(DistributedTrainer):
+    """Elastic-averaging momentum SGD against a sharded center variable."""
+
+    algorithm = "eamsgd"
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: TrainerConfig,
+        options: EAMSGDOptions = EAMSGDOptions(),
+        machine=None,
+    ) -> None:
+        super().__init__(problem, config, machine)
+        self.options = options
+        self.alpha = options.beta / config.p
+        self.server = ShardedParameterServer(
+            self.machine,
+            self.fabric,
+            size=self.workloads[0].flat.size,
+            n_shards=min(options.n_shards, self.workloads[0].flat.size),
+            learning_rate=config.lr,  # unused by elastic requests
+            dtype=self.workloads[0].flat.data.dtype,
+        )
+        self.server.set_params(self.workloads[0].flat.copy_data())
+        self.clients = [PSClient(self.server, ep) for ep in self.endpoints]
+
+    def _learner_proc(self, lid: int) -> Generator:
+        wl = self.workloads[lid]
+        client = self.clients[lid]
+        opts = self.options
+        # start every replica from the center variable
+        x = yield from self.comm(lid, client.pull())
+        wl.flat.set_data(x)
+        v = np.zeros_like(wl.flat.data)
+        total = self.steps_per_learner()
+        for step in range(1, total + 1):
+            if (step - 1) % opts.tau == 0:
+                e = yield from self.comm(
+                    lid, client.elastic(wl.flat.data, self.alpha)
+                )
+                if e is not None:
+                    wl.flat.data -= e
+            crossed = yield from self.compute_step(lid)
+            v *= opts.momentum
+            v -= self.config.lr * wl.flat.grad
+            wl.flat.data += v
+            if crossed:
+                self.record_now(crossed)
+
+    def _extra_results(self) -> Dict[str, object]:
+        return {
+            "tau": self.options.tau,
+            "alpha": self.alpha,
+            "momentum": self.options.momentum,
+            "n_shards": self.server.layout.n_shards,
+        }

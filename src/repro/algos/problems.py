@@ -1,0 +1,109 @@
+"""Ready-made Problem instances for the paper's two applications.
+
+``scale`` presets trade fidelity for wall-clock:
+
+* ``"paper"`` — the full Table I/II models and paper dataset sizes (50 000
+  CIFAR images, 2 500 NLC-F sentences).  Used for message/FLOP sizing in the
+  epoch-time experiments; too slow to *train* on one CPU core.
+* ``"bench"`` — narrow models (width < 1) and small synthetic datasets that
+  train in seconds per epoch while keeping the architecture, minibatch
+  regime, and difficulty shape.  All convergence figures run at this scale.
+* ``"unit"`` — minimal sizes for fast tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..data.synth_cifar import make_synthetic_cifar
+from ..data.synth_nlcf import make_synthetic_nlcf
+from ..nn.models import build_cifar10_cnn, build_nlcf_net
+from .base import Problem
+
+__all__ = ["cifar_problem", "nlcf_problem", "CIFAR_SCALES", "NLCF_SCALES"]
+
+CIFAR_SCALES = {
+    # width, n_train, n_test, noise
+    "paper": dict(width=1.0, n_train=50_000, n_test=10_000, noise=0.9),
+    "bench": dict(width=0.25, n_train=512, n_test=192, noise=1.4),
+    "unit": dict(width=0.08, n_train=64, n_test=32, noise=1.4),
+}
+
+NLCF_SCALES = {
+    # width, n_train, n_test, num_classes
+    "paper": dict(width=1.0, n_train=2500, n_test=500, num_classes=311),
+    "bench": dict(width=0.15, n_train=512, n_test=192, num_classes=64),
+    "unit": dict(width=0.08, n_train=48, n_test=24, num_classes=8),
+}
+
+
+def cifar_problem(
+    scale: str = "bench",
+    seed: int = 0,
+    width: Optional[float] = None,
+    n_train: Optional[int] = None,
+    n_test: Optional[int] = None,
+    noise: Optional[float] = None,
+) -> Problem:
+    """The CIFAR-10 application (Table I network + synthetic CIFAR data)."""
+    if scale not in CIFAR_SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(CIFAR_SCALES)}")
+    cfg = dict(CIFAR_SCALES[scale])
+    if width is not None:
+        cfg["width"] = width
+    if n_train is not None:
+        cfg["n_train"] = n_train
+    if n_test is not None:
+        cfg["n_test"] = n_test
+    if noise is not None:
+        cfg["noise"] = noise
+    train, test = make_synthetic_cifar(
+        n_train=cfg["n_train"], n_test=cfg["n_test"], noise=cfg["noise"], seed=seed
+    )
+    w = cfg["width"]
+
+    def build(rng: np.random.Generator):
+        return build_cifar10_cnn(width=w, rng=rng)
+
+    return Problem(
+        name=f"cifar10[{scale},w={w:g}]", build_model=build, train_set=train, test_set=test
+    )
+
+
+def nlcf_problem(
+    scale: str = "bench",
+    seed: int = 0,
+    width: Optional[float] = None,
+    n_train: Optional[int] = None,
+    n_test: Optional[int] = None,
+    num_classes: Optional[int] = None,
+) -> Problem:
+    """The NLC-F application (Table II network + synthetic sentence data)."""
+    if scale not in NLCF_SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(NLCF_SCALES)}")
+    cfg = dict(NLCF_SCALES[scale])
+    if width is not None:
+        cfg["width"] = width
+    if n_train is not None:
+        cfg["n_train"] = n_train
+    if n_test is not None:
+        cfg["n_test"] = n_test
+    if num_classes is not None:
+        cfg["num_classes"] = num_classes
+    train, test = make_synthetic_nlcf(
+        n_train=cfg["n_train"],
+        n_test=cfg["n_test"],
+        num_classes=cfg["num_classes"],
+        seed=seed,
+    )
+    w = cfg["width"]
+    k = cfg["num_classes"]
+
+    def build(rng: np.random.Generator):
+        return build_nlcf_net(width=w, num_classes=k, rng=rng)
+
+    return Problem(
+        name=f"nlcf[{scale},w={w:g}]", build_model=build, train_set=train, test_set=test
+    )

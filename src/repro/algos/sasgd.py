@@ -1,0 +1,185 @@
+"""SASGD trainer — Algorithm 1 on the simulated cluster.
+
+Binds :class:`repro.core.SASGDLocalState` (the pure algorithm) to the
+machine: the initial broadcast and the per-interval allreduce run over the
+GPU tree through :mod:`repro.comm.collectives`, local compute advances
+virtual time through the device model, and the tracer splits each learner's
+epoch into the compute/comm fractions that Figs. 4–6 report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional
+
+import numpy as np
+
+from ..comm.collectives import allgather_ring, allreduce, broadcast
+from ..core.compression import make_compressor
+from ..core.sasgd import SASGDConfig, SASGDLocalState
+from .base import Problem, TrainerConfig
+from .distributed import DistributedTrainer
+
+__all__ = ["SASGDOptions", "SASGDTrainer"]
+
+
+@dataclass(frozen=True)
+class SASGDOptions:
+    """Algorithm-specific knobs.
+
+    ``T`` — the aggregation interval (the paper's central parameter; T=1 is
+    synchronous SGD, T=50 its main operating point).
+    ``gamma_p`` — the global step size.  ``None`` selects γ/√p: the aggregated
+    ``gs`` averages away gradient noise across learners, so the stable global
+    rate sits between exact model averaging (γ/p, maximally conservative —
+    the paper's Sec. III equivalence, available as
+    ``SASGDConfig.model_averaging``) and the raw sum (γ, which overshoots by
+    a factor p).  γ/√p is the classic variance-reduction scaling and is what
+    the bench-scale experiments validate.  ``allreduce_algorithm`` picks the
+    collective ("ring", "recursive_doubling", "tree").
+
+    Extensions beyond the paper (both off by default):
+
+    * ``compression``/``k_frac``/``error_feedback`` — sparsify the aggregated
+      gradient in *space* as well as time: each learner ships only its
+      ``k_frac`` largest-magnitude coordinates (``"topk"``) or a random
+      subset (``"randomk"``), carrying the residual forward when
+      ``error_feedback`` is on.  Compressed aggregation uses an allgather of
+      (index, value) pairs with a local sum, as real sparse allreduces do.
+    * ``fail_at`` — failure injection: ``{learner_id: step}`` kills a learner
+      after that many local steps.  Bulk-synchronous SASGD then deadlocks at
+      the next allreduce (surfaced as a RuntimeError) — the fault-tolerance
+      price of synchrony that the paper concedes to parameter servers.
+    """
+
+    T: int = 50
+    gamma_p: Optional[float] = None
+    update_base: str = "interval_start"
+    allreduce_algorithm: str = "recursive_doubling"
+    compression: Optional[str] = None
+    k_frac: float = 0.01
+    error_feedback: bool = True
+    fail_at: Optional[Dict[int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.T < 1:
+            raise ValueError(f"T must be >= 1, got {self.T}")
+        if not (0.0 < self.k_frac <= 1.0):
+            raise ValueError(f"k_frac must be in (0, 1], got {self.k_frac}")
+
+
+class SASGDTrainer(DistributedTrainer):
+    """Bulk-synchronous sparse-aggregation SGD (the paper's contribution)."""
+
+    algorithm = "sasgd"
+
+    def __init__(
+        self,
+        problem: Problem,
+        config: TrainerConfig,
+        options: SASGDOptions = SASGDOptions(),
+        machine=None,
+    ) -> None:
+        super().__init__(problem, config, machine)
+        self.options = options
+        gamma_p = (
+            options.gamma_p
+            if options.gamma_p is not None
+            else config.lr / math.sqrt(config.p)
+        )
+        self.sasgd_config = SASGDConfig(
+            T=options.T,
+            p=config.p,
+            gamma=config.lr,
+            gamma_p=gamma_p,
+            update_base=options.update_base,
+        )
+        self.n_intervals = max(1, math.ceil(self.steps_per_learner() / options.T))
+        self.allreduce_count = 0
+        # one compressor per learner (error-feedback residual is local state)
+        self.compressors = [
+            make_compressor(
+                options.compression,
+                options.k_frac,
+                self.workloads[0].flat.size,
+                options.error_feedback,
+                dtype=self.workloads[0].flat.data.dtype,
+            )
+            for _ in range(config.p)
+        ]
+        self._compress_rngs = self.machine.spawn_rngs(config.p)
+        self.compressed_bytes_saved = 0.0
+
+    def _aggregate(self, lid: int, interval: int, gs: np.ndarray) -> Generator:
+        """Coroutine: dense allreduce, or compressed allgather + local sum."""
+        compressor = self.compressors[lid]
+        if compressor is None:
+            gs_sum = yield from allreduce(
+                self.endpoints[lid],
+                self.learner_names,
+                lid,
+                gs,
+                ctx=("agg", interval),
+                algorithm=self.options.allreduce_algorithm,
+            )
+            return gs_sum
+        sparse = compressor.compress(gs, self._compress_rngs[lid])
+        self.compressed_bytes_saved += float(gs.nbytes) - sparse.nbytes
+        pieces = yield from allgather_ring(
+            self.endpoints[lid],
+            self.learner_names,
+            lid,
+            sparse,
+            nbytes=sparse.nbytes,
+            ctx=("cagg", interval),
+        )
+        gs_sum = np.zeros_like(gs)
+        for piece in pieces:
+            np.add.at(gs_sum, piece.indices, piece.values)
+        return gs_sum
+
+    def _learner_proc(self, lid: int) -> Generator:
+        cfg = self.sasgd_config
+        wl = self.workloads[lid]
+        ep = self.endpoints[lid]
+        names = self.learner_names
+        fail_after = (self.options.fail_at or {}).get(lid)
+        # "The parameter x is initialized by learner 0, and then broadcast"
+        x0 = wl.flat.copy_data() if lid == 0 else None
+        x0 = yield from self.comm(
+            lid,
+            broadcast(ep, names, lid, x0, root=0, nbytes=wl.flat.nbytes, ctx="init"),
+        )
+        wl.flat.set_data(x0)
+        state = SASGDLocalState(wl.flat, cfg)
+        steps_done = 0
+        for interval in range(self.n_intervals):
+            state.begin_interval()
+            for _ in range(cfg.T):
+                if fail_after is not None and steps_done >= fail_after:
+                    return  # injected failure: the learner silently dies
+                crossed = yield from self.compute_step(lid)
+                steps_done += 1
+                self._pending_crossings += crossed
+                state.local_step()
+            gs_sum = yield from self.comm(lid, self._aggregate(lid, interval, state.gs))
+            state.apply_global(gs_sum)
+            if lid == 0:
+                # the allreduce synchronised the interval: every learner's
+                # window stats for it are on the tape; score the fresh params
+                self.allreduce_count += 1
+                crossed_total, self._pending_crossings = self._pending_crossings, 0
+                self.record_now(crossed_total)
+
+    def _extra_results(self) -> Dict[str, object]:
+        extras: Dict[str, object] = {
+            "T": self.options.T,
+            "gamma_p": self.sasgd_config.gamma_p,
+            "intervals": self.n_intervals,
+            "allreduce_algorithm": self.options.allreduce_algorithm,
+        }
+        if self.options.compression is not None:
+            extras["compression"] = self.compressors[0].name
+            extras["compressed_bytes_saved"] = self.compressed_bytes_saved
+        return extras

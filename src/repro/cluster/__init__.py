@@ -1,0 +1,18 @@
+"""Simulated cluster: devices, interconnect topology, machine presets."""
+
+from .devices import Device, DeviceSpec
+from .machine import Machine, MachineSpec, power8_cluster_spec, power8_oss_spec
+from .topology import LinkSpec, Topology, build_binary_tree_topology, build_multinode_topology
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "LinkSpec",
+    "Machine",
+    "MachineSpec",
+    "Topology",
+    "build_binary_tree_topology",
+    "build_multinode_topology",
+    "power8_cluster_spec",
+    "power8_oss_spec",
+]

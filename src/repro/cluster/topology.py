@@ -1,0 +1,214 @@
+"""Interconnect topology: nodes, links, routing.
+
+The testbed in the paper is an IBM Power8 host with an OSS high-density
+compute accelerator: 8 NVIDIA K80 GPUs "connected by PCIe switches forming a
+binary tree", with the host hanging off the tree root through a narrower
+channel.  The topology is an undirected multigraph of *endpoint* nodes
+(devices) and *switch* nodes, each edge carrying a bandwidth (bytes/s) and a
+latency (s).
+
+Two communication patterns matter:
+
+* learner ↔ learner (SASGD allreduce) — stays inside the GPU tree and can use
+  the full PCIe bandwidth (the paper's GPU-direct argument);
+* learner ↔ parameter server (Downpour / EAMSGD) — every message crosses the
+  host channel, so p learners' traffic serialises there (O(m·p) bytes through
+  one link), which is the mechanism behind the Fig. 1 communication fractions.
+
+Routing is shortest-path (networkx) computed once and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+__all__ = ["LinkSpec", "Topology", "build_binary_tree_topology", "build_multinode_topology"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One physical link: ``bandwidth`` bytes/s, ``latency`` seconds."""
+
+    u: str
+    v: str
+    bandwidth: float
+    latency: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+
+
+class Topology:
+    """A named interconnect graph with cached shortest-path routing."""
+
+    def __init__(self, name: str, nodes: Iterable[str], links: Iterable[LinkSpec]) -> None:
+        self.name = name
+        self.graph = nx.Graph()
+        self.graph.add_nodes_from(nodes)
+        self.links: Dict[Tuple[str, str], LinkSpec] = {}
+        for link in links:
+            if link.u not in self.graph or link.v not in self.graph:
+                raise ValueError(f"link {link.u}-{link.v} references unknown node")
+            key = self._key(link.u, link.v)
+            if key in self.links:
+                raise ValueError(f"duplicate link {key}")
+            self.links[key] = link
+            # weight by transfer time of a reference 1 MiB message so routing
+            # prefers fat links when there are alternatives
+            weight = link.latency + (1 << 20) / link.bandwidth
+            self.graph.add_edge(link.u, link.v, weight=weight)
+        if not nx.is_connected(self.graph):
+            raise ValueError(f"topology {name!r} is not connected")
+        self._route_cache: Dict[Tuple[str, str], List[Tuple[str, str]]] = {}
+
+    @staticmethod
+    def _key(u: str, v: str) -> Tuple[str, str]:
+        return (u, v) if u <= v else (v, u)
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self.graph.nodes)
+
+    def link(self, u: str, v: str) -> LinkSpec:
+        return self.links[self._key(u, v)]
+
+    def route(self, src: str, dst: str) -> List[Tuple[str, str]]:
+        """The (cached) sequence of links a message traverses from src to dst."""
+        if src == dst:
+            return []
+        key = (src, dst)
+        hops = self._route_cache.get(key)
+        if hops is None:
+            path = nx.shortest_path(self.graph, src, dst, weight="weight")
+            hops = [self._key(a, b) for a, b in zip(path, path[1:])]
+            self._route_cache[key] = hops
+        return hops
+
+    def path_latency(self, src: str, dst: str) -> float:
+        return sum(self.links[h].latency for h in self.route(src, dst))
+
+    def bottleneck_bandwidth(self, src: str, dst: str) -> float:
+        hops = self.route(src, dst)
+        if not hops:
+            return float("inf")
+        return min(self.links[h].bandwidth for h in hops)
+
+    def transfer_seconds(self, src: str, dst: str, nbytes: float) -> float:
+        """Uncontended store-and-forward estimate for one message."""
+        if src == dst:
+            return 0.0
+        total = 0.0
+        for hop in self.route(src, dst):
+            link = self.links[hop]
+            total += link.latency + nbytes / link.bandwidth
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Topology {self.name!r}: {self.graph.number_of_nodes()} nodes, "
+            f"{len(self.links)} links>"
+        )
+
+
+def build_multinode_topology(
+    n_nodes: int,
+    gpus_per_node: int = 8,
+    tree_bandwidth: float = 12e9,
+    tree_latency: float = 2e-6,
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    network_bandwidth: float = 1.2e9,
+    network_latency: float = 3e-6,
+    name: str = "multinode",
+) -> Topology:
+    """Several Power8/OSS nodes joined by a cluster network.
+
+    Each node is a binary PCIe tree of ``gpus_per_node`` GPUs with its host
+    on the tree root (GPU names ``n{j}gpu{i}``, hosts ``n{j}host``); hosts
+    connect to a central network switch ``net`` over (typically much slower)
+    inter-node links.  This is the "future systems with more GPUs" setting
+    of the paper's conclusion: cross-node traffic pays the network price,
+    which penalises a centralised parameter server far more than a
+    hierarchical allreduce.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    all_nodes: list[str] = ["net"] if n_nodes > 1 else []
+    links: list[LinkSpec] = []
+    for j in range(n_nodes):
+        sub = build_binary_tree_topology(
+            gpus_per_node,
+            leaf_prefix=f"n{j}gpu",
+            tree_bandwidth=tree_bandwidth,
+            tree_latency=tree_latency,
+            host=f"n{j}host",
+            host_bandwidth=host_bandwidth,
+            host_latency=host_latency,
+            name=f"{name}-node{j}",
+        )
+        # re-namespace the node's switches so nodes don't collide
+        rename = {
+            node: (node if node.startswith(f"n{j}") else f"n{j}{node}")
+            for node in sub.nodes
+        }
+        all_nodes.extend(rename.values())
+        for link in sub.links.values():
+            links.append(
+                LinkSpec(rename[link.u], rename[link.v], link.bandwidth, link.latency)
+            )
+        if n_nodes > 1:
+            links.append(
+                LinkSpec(f"n{j}host", "net", network_bandwidth, network_latency)
+            )
+    return Topology(name, all_nodes, links)
+
+
+def build_binary_tree_topology(
+    n_leaves: int,
+    leaf_prefix: str = "gpu",
+    tree_bandwidth: float = 12e9,
+    tree_latency: float = 2e-6,
+    host: str | None = "host",
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    name: str = "pcie-tree",
+) -> Topology:
+    """A binary tree of PCIe switches over ``n_leaves`` devices.
+
+    Leaves ``gpu0..gpu{n-1}`` pair up under switches level by level up to the
+    root switch; the host (if given) attaches to the root through the
+    (typically narrower) host channel.  ``n_leaves`` must be a power of two,
+    matching the OSS accelerator's layout of 8 GPUs.
+    """
+    if n_leaves < 1 or (n_leaves & (n_leaves - 1)) != 0:
+        raise ValueError(f"n_leaves must be a power of two, got {n_leaves}")
+    nodes = [f"{leaf_prefix}{i}" for i in range(n_leaves)]
+    links: list[LinkSpec] = []
+    level_nodes = list(nodes)
+    level = 0
+    all_nodes = list(nodes)
+    while len(level_nodes) > 1:
+        next_level = []
+        for i in range(0, len(level_nodes), 2):
+            sw = f"sw{level}_{i // 2}"
+            all_nodes.append(sw)
+            links.append(LinkSpec(level_nodes[i], sw, tree_bandwidth, tree_latency))
+            links.append(LinkSpec(level_nodes[i + 1], sw, tree_bandwidth, tree_latency))
+            next_level.append(sw)
+        level_nodes = next_level
+        level += 1
+    root = level_nodes[0]
+    if host is not None:
+        all_nodes.append(host)
+        if n_leaves == 1:
+            # degenerate tree: the lone leaf is the root
+            links.append(LinkSpec(nodes[0], host, host_bandwidth, host_latency))
+        else:
+            links.append(LinkSpec(root, host, host_bandwidth, host_latency))
+    return Topology(name, all_nodes, links)

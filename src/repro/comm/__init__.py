@@ -1,0 +1,47 @@
+"""Communication substrate: message fabric, collectives, cost models."""
+
+from .collectives import (
+    ALLREDUCE_ALGORITHMS,
+    allgather_ring,
+    allreduce,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    allreduce_tree,
+    broadcast,
+    reduce,
+    reduce_scatter_ring,
+)
+from .costmodel import (
+    LinkParams,
+    allreduce_seconds,
+    allreduce_traffic_bytes,
+    broadcast_seconds,
+    ps_epoch_seconds,
+    ps_roundtrip_seconds,
+    ps_traffic_bytes,
+    sasgd_epoch_comm_seconds,
+)
+from .fabric import Endpoint, Fabric, Message
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "Endpoint",
+    "Fabric",
+    "LinkParams",
+    "Message",
+    "allgather_ring",
+    "allreduce",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "allreduce_seconds",
+    "allreduce_traffic_bytes",
+    "allreduce_tree",
+    "broadcast",
+    "broadcast_seconds",
+    "ps_epoch_seconds",
+    "ps_roundtrip_seconds",
+    "ps_traffic_bytes",
+    "reduce",
+    "reduce_scatter_ring",
+    "sasgd_epoch_comm_seconds",
+]

@@ -1,0 +1,235 @@
+"""Point-to-point message fabric over the simulated interconnect.
+
+Every higher communication layer — the collectives behind SASGD's allreduce
+and the parameter-server RPCs behind Downpour/EAMSGD — reduces to
+:meth:`Endpoint.send` / :meth:`Endpoint.recv` here.
+
+Endpoints vs nodes
+------------------
+An :class:`Endpoint` is a *named actor* (``"learner3"``, ``"ps-shard0"``)
+attached to a topology node (``"gpu1"``, ``"host"``).  Several endpoints may
+share a node — the paper's p=16 runs place two learners per GPU via CUDA MPS —
+and each keeps its own mailbox, while their traffic shares (and contends for)
+the node's links.
+
+Semantics
+---------
+* ``send`` is *eager/buffered*: the sending process is occupied for the
+  transfer's duration (that time is what trainers trace as "comm"), and the
+  message is then deposited in the destination mailbox; no matching ``recv``
+  needs to be posted.  This mirrors MPI eager-protocol sends for the message
+  sizes involved and — crucially — cannot deadlock on symmetric exchanges.
+* ``recv(src, tag)`` blocks until a matching message arrives; matching is
+  exact on ``(src, tag)`` and FIFO per channel, like MPI with distinct tags.
+* With ``contention=True`` a transfer crosses its route store-and-forward,
+  holding each link exclusively for ``latency + nbytes/bandwidth``.  This is
+  what makes p learners' parameter-server round-trips serialise on the host
+  channel while allreduce traffic spreads over the GPU tree.
+
+Accounting: the fabric counts bytes per link and in total, which the tests
+use to verify the paper's O(m log p) (allreduce) vs O(m p) (parameter server)
+traffic claims directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Tuple
+
+from ..cluster.topology import Topology
+from ..sim import Delay, Engine, Resource, Store, Tracer
+
+__all__ = ["Message", "Endpoint", "Fabric"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One delivered message (payload may be None in timing-only mode)."""
+
+    src: str
+    dst: str
+    tag: Any
+    payload: Any
+    nbytes: float
+
+
+class Fabric:
+    """Owns link resources, endpoints, and byte counters for one machine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        topology: Topology,
+        tracer: Optional[Tracer] = None,
+        contention: bool = True,
+    ) -> None:
+        self.engine = engine
+        self.topology = topology
+        self.tracer = tracer
+        self.contention = contention
+        self.link_resources: Dict[Tuple[str, str], Resource] = {
+            key: Resource(engine, capacity=1, name=f"link:{key[0]}-{key[1]}")
+            for key in topology.links
+        }
+        self._endpoints: Dict[str, "Endpoint"] = {}
+        self.total_bytes = 0.0
+        self.total_messages = 0
+        self.bytes_per_link: Dict[Tuple[str, str], float] = {
+            key: 0.0 for key in topology.links
+        }
+
+    def attach(self, name: str, node: str) -> "Endpoint":
+        """Create (or fetch) the endpoint ``name`` living on topology ``node``."""
+        if node not in self.topology.graph:
+            raise ValueError(f"unknown node {node!r}")
+        ep = self._endpoints.get(name)
+        if ep is not None:
+            if ep.node != node:
+                raise ValueError(
+                    f"endpoint {name!r} already attached to {ep.node!r}, not {node!r}"
+                )
+            return ep
+        ep = Endpoint(self, name, node)
+        self._endpoints[name] = ep
+        return ep
+
+    def lookup(self, name: str) -> "Endpoint":
+        ep = self._endpoints.get(name)
+        if ep is None:
+            raise KeyError(f"no endpoint named {name!r}")
+        return ep
+
+    def reset_counters(self) -> None:
+        self.total_bytes = 0.0
+        self.total_messages = 0
+        for key in self.bytes_per_link:
+            self.bytes_per_link[key] = 0.0
+
+    # -- transfer model ------------------------------------------------------
+
+    def _transfer(self, src_node: str, dst_node: str, nbytes: float) -> Generator:
+        """Coroutine: occupy the route for the message's duration.
+
+        Transfers are *pipelined* (virtual cut-through): one message takes
+        ``sum(latencies) + nbytes / min(bandwidths)`` — not store-and-forward
+        per hop.  Under contention the message holds every link of its route
+        for that duration, acquired in canonical (sorted) order so concurrent
+        transfers over overlapping routes serialise without deadlock.
+        """
+        self.total_bytes += nbytes
+        self.total_messages += 1
+        if src_node == dst_node:
+            return
+        hops = self.topology.route(src_node, dst_node)
+        duration = 0.0
+        bottleneck = float("inf")
+        for hop in hops:
+            self.bytes_per_link[hop] += nbytes
+            link = self.topology.links[hop]
+            duration += link.latency
+            bottleneck = min(bottleneck, link.bandwidth)
+        duration += nbytes / bottleneck
+        if not self.contention:
+            yield Delay(duration)
+            return
+        ordered = sorted(hops)
+        for hop in ordered:
+            yield from self.link_resources[hop].acquire()
+        try:
+            yield Delay(duration)
+        finally:
+            for hop in ordered:
+                self.link_resources[hop].release()
+
+
+class Endpoint:
+    """A named actor's communication port: send/recv coroutines plus a mailbox."""
+
+    def __init__(self, fabric: Fabric, name: str, node: str) -> None:
+        self.fabric = fabric
+        self.name = name
+        self.node = node
+        self._mailbox: Dict[Tuple[str, Any], Store] = {}
+        self._any_queues: Dict[Any, Store] = {}
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+
+    def _channel(self, src: str, tag: Any) -> Store:
+        key = (src, tag)
+        chan = self._mailbox.get(key)
+        if chan is None:
+            chan = Store(self.fabric.engine, name=f"mbox:{self.name}<{src}:{tag}")
+            self._mailbox[key] = chan
+        return chan
+
+    # -- any-source service queues (parameter-server style RPC) -----------
+
+    def listen_any(self, tag: Any) -> None:
+        """Declare ``tag`` an any-source service tag for this endpoint.
+
+        Messages arriving with that tag go to one shared FIFO regardless of
+        sender, which is how a parameter-server shard accepts requests from
+        every learner.  Must be declared before the first matching send.
+        """
+        if tag not in self._any_queues:
+            self._any_queues[tag] = Store(
+                self.fabric.engine, name=f"svc:{self.name}:{tag}"
+            )
+
+    def recv_any(self, tag: Any) -> Generator:
+        """Coroutine: next message with service ``tag`` from any sender."""
+        queue = self._any_queues.get(tag)
+        if queue is None:
+            raise ValueError(f"endpoint {self.name!r} is not listening on {tag!r}")
+        msg = yield from queue.get()
+        self.bytes_received += msg.nbytes
+        return msg
+
+    def send(self, dst: str, tag: Any, payload: Any = None, nbytes: float = 0.0) -> Generator:
+        """Coroutine: transfer ``payload`` to endpoint ``dst`` and deposit it.
+
+        ``nbytes`` defaults to ``payload.nbytes`` when the payload is an
+        array; pass it explicitly in timing-only mode (payload None).
+        """
+        if nbytes == 0.0 and payload is not None:
+            nbytes = float(getattr(payload, "nbytes", 0.0))
+        dst_ep = self.fabric.lookup(dst)
+        self.bytes_sent += nbytes
+        yield from self.fabric._transfer(self.node, dst_ep.node, nbytes)
+        msg = Message(src=self.name, dst=dst, tag=tag, payload=payload, nbytes=nbytes)
+        any_queue = dst_ep._any_queues.get(tag)
+        if any_queue is not None:
+            any_queue.put(msg)
+        else:
+            dst_ep._channel(self.name, tag).put(msg)
+
+    def recv(self, src: str, tag: Any) -> Generator:
+        """Coroutine: wait for and return the next message matching (src, tag)."""
+        msg = yield from self._channel(src, tag).get()
+        self.bytes_received += msg.nbytes
+        return msg
+
+    def sendrecv(
+        self,
+        dst: str,
+        send_tag: Any,
+        payload: Any,
+        src: str,
+        recv_tag: Any,
+        nbytes: float = 0.0,
+    ) -> Generator:
+        """Coroutine: overlap a send with a receive (the ring-step pattern).
+
+        The send runs as a child process so transfer time on the two
+        directions overlaps, exactly like a full-duplex exchange.
+        """
+        sender = self.fabric.engine.spawn(
+            self.send(dst, send_tag, payload, nbytes),
+            name=f"sr-send:{self.name}->{dst}",
+        )
+        msg = yield from self.recv(src, recv_tag)
+        yield sender.done_event
+        return msg
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Endpoint {self.name}@{self.node}>"

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the SASGD algorithm, cluster-free."""
+
+from .compression import (
+    CompressedGradient,
+    ErrorFeedback,
+    RandomKCompressor,
+    TopKCompressor,
+    make_compressor,
+)
+from .sasgd import SASGDConfig, SASGDLocalState, reference_sasgd, sasgd_global_step
+
+__all__ = [
+    "CompressedGradient",
+    "ErrorFeedback",
+    "RandomKCompressor",
+    "SASGDConfig",
+    "SASGDLocalState",
+    "TopKCompressor",
+    "make_compressor",
+    "reference_sasgd",
+    "sasgd_global_step",
+]

@@ -1,0 +1,101 @@
+"""Synthetic NLC-F stand-in.
+
+NLC-F is an in-house finance NLP dataset the paper could not release: 2 500
+training sentences, 311 labels, sentences presented as precomputed word2vec
+(100-d) token embeddings, trained with minibatch size 1.  What makes this
+workload interesting for the paper's argument is its *regime*:
+
+* very few examples per class (~8) with many classes → high-variance, sparse
+  gradient signal per step;
+* minibatch size 1 → maximal update frequency → communication dominates the
+  epoch (paper Fig. 1: > 60 %), and asynchronous staleness is most damaging
+  (paper Fig. 10: Downpour/EAMSGD degrade to random guessing at p ≥ 8).
+
+The generator reproduces that regime: each label owns a centroid direction in
+embedding space plus a small set of "topic" directions; a sentence is a
+random-length sequence of tokens, each a noisy mixture of the label centroid,
+a topic direction, and shared background "function words".  Sentences are
+unit-normalised per token like word2vec vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .datasets import SequenceDataset
+
+__all__ = ["make_synthetic_nlcf"]
+
+
+def _normalise_rows(a: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(a, axis=-1, keepdims=True)
+    return a / np.maximum(norms, 1e-12)
+
+
+def make_synthetic_nlcf(
+    n_train: int = 2500,
+    n_test: int = 500,
+    num_classes: int = 311,
+    embed_dim: int = 100,
+    min_len: int = 6,
+    max_len: int = 30,
+    signal: float = 1.0,
+    token_noise: float = 0.35,
+    background_frac: float = 0.2,
+    n_background: int = 64,
+    seed: int = 0,
+) -> Tuple[SequenceDataset, SequenceDataset]:
+    """Generate a (train, test) pair; paper scale is 2 500 train, 311 labels.
+
+    ``background_frac`` of each sentence's tokens carry no label information
+    (shared function-word vectors), and the remainder mix the class centroid
+    with per-class topic jitter at SNR ``signal / token_noise``.
+    """
+    if max_len < min_len or min_len < 2:
+        raise ValueError("bad length range")
+    if n_train < num_classes:
+        raise ValueError(
+            f"need at least one example per class: {n_train} < {num_classes}"
+        )
+    ss = np.random.SeedSequence(seed)
+    proto_rng, train_rng, test_rng = (np.random.default_rng(s) for s in ss.spawn(3))
+
+    centroids = _normalise_rows(proto_rng.standard_normal((num_classes, embed_dim)))
+    topics = _normalise_rows(proto_rng.standard_normal((num_classes, 3, embed_dim)))
+    background = _normalise_rows(proto_rng.standard_normal((n_background, embed_dim)))
+
+    def balanced_labels(n: int, rng: np.random.Generator) -> np.ndarray:
+        labels = np.arange(n) % num_classes
+        rng.shuffle(labels)
+        return labels
+
+    def sample_split(n: int, rng: np.random.Generator):
+        labels = balanced_labels(n, rng)
+        seqs = []
+        for lab in labels:
+            length = int(rng.integers(min_len, max_len + 1))
+            topic = topics[lab, rng.integers(0, topics.shape[1])]
+            is_bg = rng.random(length) < background_frac
+            toks = np.empty((length, embed_dim))
+            n_bg = int(is_bg.sum())
+            if n_bg:
+                toks[is_bg] = background[rng.integers(0, n_background, size=n_bg)]
+            n_sig = length - n_bg
+            if n_sig:
+                base = signal * (0.7 * centroids[lab] + 0.3 * topic)
+                toks[~is_bg] = base + token_noise * rng.standard_normal(
+                    (n_sig, embed_dim)
+                )
+            toks = _normalise_rows(toks)
+            seqs.append(toks.astype(np.float32))
+        return seqs, labels
+
+    seq_tr, y_tr = sample_split(n_train, train_rng)
+    seq_te, y_te = sample_split(n_test, test_rng)
+    name = f"synth-nlcf(classes={num_classes},seed={seed})"
+    return (
+        SequenceDataset(seq_tr, y_tr, num_classes, name + "/train"),
+        SequenceDataset(seq_te, y_te, num_classes, name + "/test"),
+    )

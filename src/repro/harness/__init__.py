@@ -1,0 +1,41 @@
+"""Experiment harness: calibration, timing simulation, registry, reporting."""
+
+from .calibration import PAPER_PROFILE, CalibrationProfile, calibrated_machine
+from .experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    list_experiments,
+    run_experiment,
+)
+from .report import format_result, format_series, format_table
+from .serialization import (
+    load_params,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_params,
+    save_result,
+)
+from .timing import TimingResult, TimingWorkload, simulate_epoch_time
+
+__all__ = [
+    "CalibrationProfile",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_PROFILE",
+    "TimingResult",
+    "TimingWorkload",
+    "calibrated_machine",
+    "format_result",
+    "format_series",
+    "format_table",
+    "list_experiments",
+    "load_params",
+    "load_result",
+    "result_from_dict",
+    "result_to_dict",
+    "save_params",
+    "save_result",
+    "run_experiment",
+    "simulate_epoch_time",
+]

@@ -1,0 +1,63 @@
+"""ASCII rendering of experiment results (the "same rows the paper reports")."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["format_table", "format_result", "format_series"]
+
+
+def format_table(rows: Sequence[dict]) -> str:
+    """Align a list of dicts into a fixed-width text table."""
+    if not rows:
+        return "(no rows)"
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[str(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(c.ljust(w) for c, w in zip(line, widths)) for line in cells)
+    return "\n".join([header, sep, body])
+
+
+def format_series(result: ExperimentResult, max_points: int = 12) -> str:
+    """Compact curve listing: name then (x:y) pairs, subsampled if long."""
+    lines = []
+    for name, pts in result.series.items():
+        if not pts:
+            lines.append(f"  {name}: (empty)")
+            continue
+        if len(pts) > max_points:
+            stride = max(1, len(pts) // max_points)
+            shown = pts[::stride]
+            if shown[-1] != pts[-1]:
+                shown.append(pts[-1])
+        else:
+            shown = pts
+        body = " ".join(f"{x:g}:{y:.3f}" for x, y in shown)
+        lines.append(f"  {name}: {body}")
+    return "\n".join(lines)
+
+
+def format_result(result: ExperimentResult) -> str:
+    """Full report block for one experiment."""
+    parts = [
+        f"== {result.exp_id}: {result.title} ==",
+        f"paper claim: {result.paper_claim}",
+    ]
+    if result.rows:
+        parts.append(format_table(result.rows))
+    if result.series:
+        parts.append("series (epoch:accuracy):")
+        parts.append(format_series(result))
+    if result.notes:
+        parts.append(f"notes: {result.notes}")
+    return "\n".join(parts) + "\n"

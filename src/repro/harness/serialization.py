@@ -1,0 +1,102 @@
+"""Persistence for experiment outputs and model parameters.
+
+Experiment results serialise to JSON (the harness's exchange format: rerun a
+figure, diff it against a stored run); flat parameter vectors save to ``.npz``
+with enough metadata to refuse a mismatched restore.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..nn.module import FlatParams
+from .experiments import ExperimentResult
+
+__all__ = [
+    "result_to_dict",
+    "result_from_dict",
+    "save_result",
+    "load_result",
+    "save_params",
+    "load_params",
+]
+
+PathLike = Union[str, Path]
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    return {
+        "exp_id": result.exp_id,
+        "title": result.title,
+        "paper_claim": result.paper_claim,
+        "rows": [
+            {k: (list(v) if isinstance(v, tuple) else v) for k, v in row.items()}
+            for row in result.rows
+        ],
+        "series": {name: [[float(x), float(y)] for x, y in pts] for name, pts in result.series.items()},
+        "notes": result.notes,
+    }
+
+
+def result_from_dict(data: dict) -> ExperimentResult:
+    return ExperimentResult(
+        exp_id=data["exp_id"],
+        title=data["title"],
+        paper_claim=data["paper_claim"],
+        rows=[
+            {k: (tuple(v) if isinstance(v, list) else v) for k, v in row.items()}
+            for row in data["rows"]
+        ],
+        series={
+            name: [(float(x), float(y)) for x, y in pts]
+            for name, pts in data["series"].items()
+        },
+        notes=data.get("notes", ""),
+    )
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def save_params(flat: FlatParams, path: PathLike, **metadata) -> None:
+    """Save the flat parameter vector plus free-form string metadata."""
+    meta = {str(k): str(v) for k, v in metadata.items()}
+    np.savez(
+        Path(path),
+        data=flat.data,
+        size=np.array([flat.size]),
+        **{f"meta_{k}": np.array(v) for k, v in meta.items()},
+    )
+
+
+def load_params(flat: FlatParams, path: PathLike) -> dict:
+    """Restore parameters in place; returns the stored metadata.
+
+    Refuses a size or dtype mismatch rather than silently truncating.
+    """
+    with np.load(Path(path), allow_pickle=False) as archive:
+        data = archive["data"]
+        if data.shape != flat.data.shape:
+            raise ValueError(
+                f"parameter count mismatch: file has {data.shape}, model has "
+                f"{flat.data.shape}"
+            )
+        if data.dtype != flat.data.dtype:
+            raise ValueError(
+                f"dtype mismatch: file has {data.dtype}, model has {flat.data.dtype}"
+            )
+        flat.set_data(data)
+        return {
+            key[5:]: str(archive[key])
+            for key in archive.files
+            if key.startswith("meta_")
+        }

@@ -1,0 +1,227 @@
+"""Paper-scale epoch-time simulation (timing-only mode).
+
+The epoch-time figures (1, 4, 5, 6) depend on message sizes, FLOP counts and
+the schedule — not on gradient values — so they are regenerated with the real
+communication substrate (fabric, collectives, parameter server, contention)
+but byte-count payloads and no NumPy math.  That lets the full Table I/II
+models and paper dataset sizes run in milliseconds of wall time.
+
+Each ``simulate_*`` function plays ``epochs`` epochs of the algorithm's
+communication/compute schedule for p learners and returns the steady-state
+per-epoch timing breakdown (averaged over learners and epochs, skipping the
+first epoch if more than one is run, to exclude start-up transients).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from ..cluster.machine import Machine
+from ..comm.collectives import allreduce, broadcast
+from ..comm.fabric import Fabric
+from ..nn.models import ModelInfo
+from ..ps.server import PSClient, ShardedParameterServer
+from ..sim import Delay
+from .calibration import CalibrationProfile, PAPER_PROFILE, calibrated_machine
+
+__all__ = ["TimingWorkload", "TimingResult", "simulate_epoch_time"]
+
+
+@dataclass(frozen=True)
+class TimingWorkload:
+    """Sizes that drive the schedule: parameters, FLOPs, samples, minibatch."""
+
+    name: str
+    param_bytes: float
+    train_flops_per_example: float
+    batch_size: int
+    n_train: int
+
+    @classmethod
+    def from_model_info(cls, info: ModelInfo, n_train: int) -> "TimingWorkload":
+        return cls(
+            name=info.name,
+            param_bytes=info.param_bytes,
+            train_flops_per_example=info.flops_train_per_example,
+            batch_size=info.default_minibatch,
+            n_train=n_train,
+        )
+
+    def steps_per_learner_per_epoch(self, p: int) -> int:
+        return max(1, math.ceil(self.n_train / (p * self.batch_size)))
+
+
+@dataclass
+class TimingResult:
+    """Steady-state per-epoch timing for one configuration."""
+
+    algorithm: str
+    workload: str
+    p: int
+    T: int
+    epoch_seconds: float
+    compute_seconds: float
+    comm_seconds: float
+    total_bytes_per_epoch: float
+
+    @property
+    def comm_fraction(self) -> float:
+        busy = self.compute_seconds + self.comm_seconds
+        return self.comm_seconds / busy if busy > 0 else 0.0
+
+
+def _learner_sasgd(
+    trainer_ctx: dict, lid: int
+) -> Generator:
+    machine: Machine = trainer_ctx["machine"]
+    wl: TimingWorkload = trainer_ctx["workload"]
+    names: List[str] = trainer_ctx["names"]
+    eps = trainer_ctx["endpoints"]
+    T: int = trainer_ctx["T"]
+    p = len(names)
+    name = names[lid]
+    tracer = machine.tracer
+    device = machine.devices[trainer_ctx["placement"][lid]]
+    residency = trainer_ctx["residency"][lid]
+    batch_flops = wl.train_flops_per_example * wl.batch_size
+    yield from tracer.timed(
+        name,
+        "comm",
+        broadcast(eps[lid], names, lid, None, nbytes=wl.param_bytes, ctx="init"),
+    )
+    steps = wl.steps_per_learner_per_epoch(p) * trainer_ctx["epochs"]
+    for step in range(1, steps + 1):
+        tracer.begin(name, "compute")
+        yield Delay(device.compute_seconds(batch_flops) * residency)
+        tracer.end(name, "compute")
+        if step % T == 0 or step == steps:
+            yield from tracer.timed(
+                name,
+                "comm",
+                allreduce(
+                    eps[lid],
+                    names,
+                    lid,
+                    None,
+                    nbytes=wl.param_bytes,
+                    ctx=("agg", step),
+                    algorithm=trainer_ctx.get(
+                        "allreduce_algorithm", "recursive_doubling"
+                    ),
+                ),
+            )
+
+
+def _learner_ps(trainer_ctx: dict, lid: int, elastic: bool) -> Generator:
+    machine: Machine = trainer_ctx["machine"]
+    wl: TimingWorkload = trainer_ctx["workload"]
+    names: List[str] = trainer_ctx["names"]
+    T: int = trainer_ctx["T"]
+    p = len(names)
+    name = names[lid]
+    tracer = machine.tracer
+    device = machine.devices[trainer_ctx["placement"][lid]]
+    residency = trainer_ctx["residency"][lid]
+    client: PSClient = trainer_ctx["clients"][lid]
+    batch_flops = wl.train_flops_per_example * wl.batch_size
+    yield from tracer.timed(name, "comm", client.pull())
+    steps = wl.steps_per_learner_per_epoch(p) * trainer_ctx["epochs"]
+    for step in range(1, steps + 1):
+        tracer.begin(name, "compute")
+        yield Delay(device.compute_seconds(batch_flops) * residency)
+        tracer.end(name, "compute")
+        if step % T == 0 or step == steps:
+            if elastic:
+                yield from tracer.timed(name, "comm", client.elastic(None, 0.0))
+            else:
+
+                def round_trip() -> Generator:
+                    yield from client.push(None)
+                    yield from client.pull()
+
+                yield from tracer.timed(name, "comm", round_trip())
+
+
+def simulate_epoch_time(
+    algorithm: str,
+    workload: TimingWorkload,
+    p: int,
+    T: int,
+    epochs: int = 2,
+    profile: CalibrationProfile = PAPER_PROFILE,
+    n_shards: int = 2,
+    allreduce_algorithm: str = "recursive_doubling",
+    seed: int = 0,
+    machine: Optional[Machine] = None,
+) -> TimingResult:
+    """Simulate ``epochs`` epochs of ``algorithm`` and return epoch timing.
+
+    ``algorithm`` is one of "sgd" (p must be 1), "sasgd", "downpour",
+    "eamsgd".  Epoch time is span / epochs; compute/comm are per-learner
+    means over the full run.  Pass ``machine`` to run on something other
+    than the calibrated single-node testbed (e.g. a
+    :func:`~repro.cluster.power8_cluster_spec` multi-node machine).
+    """
+    if algorithm == "sgd" and p != 1:
+        raise ValueError("sgd timing requires p=1")
+    if machine is None:
+        machine = calibrated_machine(profile, seed=seed)
+    fabric = Fabric(machine.engine, machine.topology, machine.tracer, contention=True)
+    placement = machine.place_learners(p)
+    res_map = machine.residency(placement)
+    residency = [res_map[d] for d in placement]
+    names = [f"learner{i}" for i in range(p)]
+    endpoints = [fabric.attach(names[i], placement[i]) for i in range(p)]
+    ctx = dict(
+        machine=machine,
+        workload=workload,
+        names=names,
+        endpoints=endpoints,
+        placement=placement,
+        residency=residency,
+        T=T,
+        epochs=epochs,
+        allreduce_algorithm=allreduce_algorithm,
+    )
+    if algorithm in ("downpour", "eamsgd"):
+        n_params = max(int(workload.param_bytes // 4), n_shards)
+        server = ShardedParameterServer(
+            machine,
+            fabric,
+            size=n_params,
+            n_shards=n_shards,
+            timing_only=True,
+            apply_flops_per_param=profile.ps_apply_flops_per_param,
+        )
+        ctx["clients"] = [PSClient(server, ep) for ep in endpoints]
+        procs = [
+            machine.engine.spawn(
+                _learner_ps(ctx, lid, elastic=(algorithm == "eamsgd")), name=names[lid]
+            )
+            for lid in range(p)
+        ]
+    elif algorithm in ("sasgd", "sgd"):
+        procs = [
+            machine.engine.spawn(_learner_sasgd(ctx, lid), name=names[lid])
+            for lid in range(p)
+        ]
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    machine.engine.run()
+    for proc in procs:
+        if not proc.finished:
+            raise RuntimeError(f"{proc.name} deadlocked")
+    span = machine.engine.now
+    bd = machine.tracer.mean_breakdown(names)
+    return TimingResult(
+        algorithm=algorithm,
+        workload=workload.name,
+        p=p,
+        T=T,
+        epoch_seconds=span / epochs,
+        compute_seconds=bd.compute_seconds / epochs,
+        comm_seconds=bd.comm_seconds / epochs,
+        total_bytes_per_epoch=fabric.total_bytes / epochs,
+    )

@@ -1,0 +1,84 @@
+"""Elementwise activations and the Flatten reshape layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["ReLU", "Tanh", "Flatten"]
+
+
+class ReLU(Module):
+    """Rectified linear unit (used after every CIFAR-10 conv layer)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        mask = self._mask
+        if mask is None:
+            raise RuntimeError("backward before forward")
+        self._mask = None
+        return grad_out * mask
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return in_shape
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        return float(np.prod(in_shape))
+
+
+class Tanh(Module):
+    """Hyperbolic tangent (the NLC-F network's non-linearity)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        y = np.tanh(x)
+        self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        y = self._y
+        if y is None:
+            raise RuntimeError("backward before forward")
+        self._y = None
+        return grad_out * (1.0 - y * y)
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return in_shape
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        return 5.0 * float(np.prod(in_shape))  # tanh ≈ a few flops/elt
+
+
+class Flatten(Module):
+    """Collapse all per-example axes to one (before the classifier head)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        shape = self._shape
+        if shape is None:
+            raise RuntimeError("backward before forward")
+        self._shape = None
+        return grad_out.reshape(shape)
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return (int(np.prod(in_shape)),)

@@ -1,0 +1,99 @@
+"""Average pooling (for the deeper networks the paper points to).
+
+The paper notes its approach "work[s] for these networks also" (AlexNet,
+GoogLeNet); those architectures need average pooling alongside the max
+pooling Table I uses, so the framework provides it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["AvgPool2d", "GlobalAvgPool2d"]
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling on NCHW input (floor semantics)."""
+
+    def __init__(self, kernel_size: int | Tuple[int, int]) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kh, self.kw = kernel_size
+        if self.kh < 1 or self.kw < 1:
+            raise ValueError(f"bad kernel size {kernel_size}")
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = h // self.kh, w // self.kw
+        if oh < 1 or ow < 1:
+            raise ValueError(f"input {h}x{w} smaller than pool {self.kh}x{self.kw}")
+        xc = x[:, :, : oh * self.kh, : ow * self.kw]
+        self._x_shape = x.shape
+        return xc.reshape(n, c, oh, self.kh, ow, self.kw).mean(axis=(3, 5))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape = self._x_shape
+        if x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._x_shape = None
+        n, c, h, w = x_shape
+        oh, ow = h // self.kh, w // self.kw
+        scale = 1.0 / (self.kh * self.kw)
+        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        spread = np.broadcast_to(
+            grad_out[:, :, :, None, :, None] * scale,
+            (n, c, oh, self.kh, ow, self.kw),
+        )
+        gx[:, :, : oh * self.kh, : ow * self.kw] = spread.reshape(
+            n, c, oh * self.kh, ow * self.kw
+        )
+        return gx
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        oh, ow = h // self.kh, w // self.kw
+        if oh < 1 or ow < 1:
+            raise ValueError(f"shape {in_shape} too small for pool {self.kh}x{self.kw}")
+        return (c, oh, ow)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        c, oh, ow = self.output_shape(in_shape)
+        return float(c * oh * ow * self.kh * self.kw)
+
+    def extra_repr(self) -> str:
+        return f"k=({self.kh},{self.kw})"
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions: ``(N, C, H, W) → (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x_shape = self._x_shape
+        if x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._x_shape = None
+        n, c, h, w = x_shape
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), x_shape
+        ).astype(grad_out.dtype).copy()
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, _h, _w = in_shape
+        return (c,)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        return float(np.prod(in_shape))

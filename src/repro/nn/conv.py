@@ -1,0 +1,113 @@
+"""2-D convolution (im2col + GEMM)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .functional import col2im, conv2d_output_hw, im2col
+from .init import torch_uniform_
+from .module import Module, Parameter
+
+__all__ = ["Conv2d"]
+
+
+class Conv2d(Module):
+    """Spatial convolution on NCHW input.
+
+    Table I's rows "Convolution: (nfeat, nkern, height, width)" map directly:
+    ``Conv2d(nfeat, nkern, (height, width))``.  Padding defaults keep the
+    CIFAR-10 stack's parameter count at the paper's ~0.5 M (see
+    :func:`repro.nn.models.build_cifar10_cnn`).
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int | Tuple[int, int],
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        dtype=np.float32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kh, self.kw = kernel_size
+        if self.kh < 1 or self.kw < 1:
+            raise ValueError(f"bad kernel size {kernel_size}")
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.stride = stride
+        self.padding = padding
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = in_channels * self.kh * self.kw
+        w = np.empty((out_channels, in_channels, self.kh, self.kw), dtype=dtype)
+        torch_uniform_(w, fan_in, rng)
+        self.weight = self.register_parameter(Parameter(w, "weight"))
+        if bias:
+            b = np.empty(out_channels, dtype=dtype)
+            torch_uniform_(b, fan_in, rng)
+            self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
+        else:
+            self.bias = None
+        self._col: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        oh, ow = conv2d_output_hw(h, w, self.kh, self.kw, self.stride, self.padding)
+        col = im2col(x, self.kh, self.kw, self.stride, self.padding)
+        self._col = col
+        self._x_shape = x.shape
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        y = col @ wmat.T  # (N, OH*OW, F)
+        if self.bias is not None:
+            y += self.bias.data
+        return np.ascontiguousarray(
+            y.transpose(0, 2, 1).reshape(n, self.out_channels, oh, ow)
+        )
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        col, x_shape = self._col, self._x_shape
+        if col is None or x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._col = None
+        self._x_shape = None
+        n, f, oh, ow = grad_out.shape
+        gomat = grad_out.reshape(n, f, oh * ow).transpose(0, 2, 1)  # (N, OH*OW, F)
+        wmat = self.weight.data.reshape(self.out_channels, -1)
+        # weight grad: sum over batch of gomat^T @ col
+        gw = np.einsum("nif,nik->fk", gomat, col, optimize=True)
+        self.weight.grad += gw.reshape(self.weight.data.shape)
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
+        gcol = gomat @ wmat  # (N, OH*OW, C*kh*kw)
+        return col2im(gcol, x_shape, self.kh, self.kw, self.stride, self.padding)
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        if c != self.in_channels:
+            raise ValueError(f"shape {in_shape} incompatible with {self!r}")
+        oh, ow = conv2d_output_hw(h, w, self.kh, self.kw, self.stride, self.padding)
+        return (self.out_channels, oh, ow)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        _, oh, ow = self.output_shape(in_shape)
+        macs = oh * ow * self.out_channels * self.in_channels * self.kh * self.kw
+        return 2.0 * macs
+
+    def extra_repr(self) -> str:
+        return (
+            f"{self.in_channels}->{self.out_channels}, k=({self.kh},{self.kw}), "
+            f"stride={self.stride}, pad={self.padding}"
+        )

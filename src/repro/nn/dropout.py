@@ -1,0 +1,54 @@
+"""Inverted dropout (Srivastava et al., the paper's regulariser)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Zero each activation with probability ``p`` and rescale by 1/(1−p).
+
+    Inverted scaling (as in Torch's ``nn.Dropout``) keeps evaluation a no-op.
+    The RNG is injected per learner via ``Module.set_rng`` so distributed
+    replicas draw independent masks while staying reproducible.
+    """
+
+    def __init__(self, p: float = 0.5, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        if not (0.0 <= p < 1.0):
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        mask = (self.rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        mask = self._mask
+        self._mask = None
+        return grad_out * mask
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        return in_shape
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        return float(np.prod(in_shape))
+
+    def extra_repr(self) -> str:
+        return f"p={self.p}"

@@ -1,0 +1,105 @@
+"""Stateless array kernels shared by the layers.
+
+im2col/col2im are the workhorses: convolution becomes one GEMM per batch,
+which is both the fast way to do it in NumPy (guide rule: replace loops with
+matmul) and faithful to how the GPU frameworks the paper used implement it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = [
+    "conv2d_output_hw",
+    "im2col",
+    "col2im",
+    "log_softmax",
+    "softmax",
+    "one_hot",
+]
+
+
+def conv2d_output_hw(
+    h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> Tuple[int, int]:
+    """Output spatial dims for a 2-D convolution (floor semantics)."""
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w + 2 * pad - kw) // stride + 1
+    if oh < 1 or ow < 1:
+        raise ValueError(
+            f"conv output would be empty: in {h}x{w}, kernel {kh}x{kw}, "
+            f"stride {stride}, pad {pad}"
+        )
+    return oh, ow
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> np.ndarray:
+    """Unfold NCHW input into GEMM form.
+
+    Returns a ``(N, OH*OW, C*kh*kw)`` array whose last axis enumerates the
+    receptive field in ``(c, i, j)`` order — matching a weight matrix of shape
+    ``(F, C*kh*kw)`` built from ``(F, C, kh, kw)`` filters via ``reshape``.
+    """
+    n, c, h, w = x.shape
+    oh, ow = conv2d_output_hw(h, w, kh, kw, stride, pad)
+    if pad > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # windows: (N, C, H', W', kh, kw) where H'=h+2p-kh+1
+    win = sliding_window_view(x, (kh, kw), axis=(2, 3))
+    win = win[:, :, ::stride, ::stride]  # (N, C, OH, OW, kh, kw)
+    # -> (N, OH, OW, C, kh, kw) -> (N, OH*OW, C*kh*kw)
+    col = win.transpose(0, 2, 3, 1, 4, 5).reshape(n, oh * ow, c * kh * kw)
+    return np.ascontiguousarray(col)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: Tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Fold a ``(N, OH*OW, C*kh*kw)`` gradient back onto the NCHW input.
+
+    Overlapping windows scatter-add, the adjoint of :func:`im2col`.
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv2d_output_hw(h, w, kh, kw, stride, pad)
+    grad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    # back to (N, C, kh, kw, OH, OW)
+    cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    for i in range(kh):
+        i_hi = i + stride * oh
+        for j in range(kw):
+            j_hi = j + stride * ow
+            grad[:, :, i:i_hi:stride, j:j_hi:stride] += cols6[:, :, i, j]
+    if pad > 0:
+        grad = grad[:, :, pad : pad + h, pad : pad + w]
+    return grad
+
+
+def log_softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def one_hot(labels: np.ndarray, num_classes: int, dtype=np.float64) -> np.ndarray:
+    labels = np.asarray(labels)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("label out of range")
+    out = np.zeros((labels.shape[0], num_classes), dtype=dtype)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,82 @@
+"""Fully connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .init import torch_uniform_
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x @ W.T + b`` applied to the last axis.
+
+    Accepts any leading shape — ``(N, in)`` for the classifier heads,
+    ``(N, L, in)`` for the per-token projection in the NLC-F network's first
+    stage (Table II applies "Fully connected layer: 100 × 200" to every
+    word2vec token).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        dtype=np.float32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng(0)
+        w = np.empty((out_features, in_features), dtype=dtype)
+        torch_uniform_(w, in_features, rng)
+        self.weight = self.register_parameter(Parameter(w, "weight"))
+        if bias:
+            b = np.empty(out_features, dtype=dtype)
+            torch_uniform_(b, in_features, rng)
+            self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
+        else:
+            self.bias = None
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected last dim {self.in_features}, got input shape {x.shape}"
+            )
+        self._x = x
+        y = x @ self.weight.data.T
+        if self.bias is not None:
+            y += self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward before forward")
+        self._x = None
+        go2 = grad_out.reshape(-1, self.out_features)
+        x2 = x.reshape(-1, self.in_features)
+        self.weight.grad += go2.T @ x2
+        if self.bias is not None:
+            self.bias.grad += go2.sum(axis=0)
+        return (grad_out @ self.weight.data).reshape(x.shape)
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        if in_shape[-1] != self.in_features:
+            raise ValueError(f"shape {in_shape} incompatible with {self!r}")
+        return in_shape[:-1] + (self.out_features,)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        tokens = float(np.prod(in_shape[:-1])) if len(in_shape) > 1 else 1.0
+        return tokens * 2.0 * self.in_features * self.out_features
+
+    def extra_repr(self) -> str:
+        return f"{self.in_features}x{self.out_features}, bias={self.bias is not None}"

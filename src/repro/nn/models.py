@@ -1,0 +1,166 @@
+"""The paper's two networks (Tables I and II), exactly and scalably.
+
+Both builders accept a ``width`` multiplier: 1.0 is the paper architecture
+(≈0.5 M parameters for CIFAR-10, ≈1.7 M for NLC-F — the paper quotes "about
+0.5 million" and "about 2 million"); smaller widths shrink every hidden
+channel count proportionally so convergence experiments run at laptop scale
+while preserving the layer structure, depth and loss surface character.
+The paper-scale instances are what the epoch-time experiments size their
+messages and FLOP counts from.
+
+Padding note (CIFAR-10): Table I lists kernel sizes only.  The referenced
+Torch model zoo network uses 'same'-style padding on the 5×5/3×3 stages; that
+choice is also the unique one that makes the final stage emit 128 features
+for the "Fully connected layer: 128 × 10" row and reproduces the quoted
+~0.5 M parameter count, so we adopt it (pad 2, 1, 1, 0).
+
+Read-out note (NLC-F): Table II goes from the temporal stage straight to a
+1000×1000 fully connected layer, which requires a fixed-size vector; we apply
+the standard max-over-time read-out after the temporal pooling (documented
+inference, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .activations import Flatten, ReLU, Tanh
+from .conv import Conv2d
+from .dropout import Dropout
+from .linear import Linear
+from .loss import CrossEntropyLoss
+from .module import Sequential
+from .pool import MaxPool2d
+from .temporal import MaxOverTime, TemporalConvolution, TemporalMaxPooling
+
+__all__ = [
+    "ModelInfo",
+    "build_cifar10_cnn",
+    "build_nlcf_net",
+    "CIFAR10_INPUT_SHAPE",
+    "NLCF_EMBED_DIM",
+    "NLCF_NUM_CLASSES",
+]
+
+CIFAR10_INPUT_SHAPE: Tuple[int, int, int] = (3, 32, 32)
+NLCF_EMBED_DIM = 100
+NLCF_NUM_CLASSES = 311
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Metadata the cluster simulation needs about a model."""
+
+    name: str
+    num_parameters: int
+    param_bytes: float  # size of the flat parameter/gradient buffer
+    flops_forward_per_example: float
+    default_minibatch: int  # the paper's setting (64 CIFAR / 1 NLC-F)
+
+    @property
+    def flops_train_per_example(self) -> float:
+        """Forward + backward ≈ 3× forward (input-grad + weight-grad passes)."""
+        return 3.0 * self.flops_forward_per_example
+
+
+def _scaled(base: int, width: float, minimum: int = 1) -> int:
+    return max(minimum, int(round(base * width)))
+
+
+def build_cifar10_cnn(
+    width: float = 1.0,
+    num_classes: int = 10,
+    input_hw: int = 32,
+    dropout: float = 0.5,
+    dtype=np.float32,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Sequential, CrossEntropyLoss, ModelInfo]:
+    """Table I: 4 conv/ReLU/pool/dropout stages + FC head, cross-entropy.
+
+    Returns ``(model, criterion, info)``.
+    """
+    if input_hw % 16 != 0:
+        raise ValueError(f"input_hw must be divisible by 16, got {input_hw}")
+    rng = rng if rng is not None else np.random.default_rng(0)
+    c1 = _scaled(64, width)
+    c2 = _scaled(128, width)
+    c3 = _scaled(256, width)
+    c4 = _scaled(128, width)
+    model = Sequential(
+        Conv2d(3, c1, 5, padding=2, dtype=dtype, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Dropout(dropout),
+        Conv2d(c1, c2, 3, padding=1, dtype=dtype, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Dropout(dropout),
+        Conv2d(c2, c3, 3, padding=1, dtype=dtype, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Dropout(dropout),
+        Conv2d(c3, c4, 2, padding=0, dtype=dtype, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Dropout(dropout),
+        Flatten(),
+        Linear(c4, num_classes, dtype=dtype, rng=rng),
+    )
+    in_shape = (3, input_hw, input_hw)
+    out_shape = model.output_shape(in_shape)
+    if out_shape != (num_classes,):
+        raise RuntimeError(f"unexpected head shape {out_shape}")  # pragma: no cover
+    info = ModelInfo(
+        name=f"cifar10-cnn-w{width:g}",
+        num_parameters=model.num_parameters(),
+        param_bytes=float(model.num_parameters() * np.dtype(dtype).itemsize),
+        flops_forward_per_example=model.flops_per_example(in_shape),
+        default_minibatch=64,
+    )
+    return model, CrossEntropyLoss(), info
+
+
+def build_nlcf_net(
+    width: float = 1.0,
+    num_classes: int = NLCF_NUM_CLASSES,
+    embed_dim: int = NLCF_EMBED_DIM,
+    typical_len: int = 20,
+    dtype=np.float32,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Sequential, CrossEntropyLoss, ModelInfo]:
+    """Table II: per-token FC/tanh → temporal conv → pooling → FC head.
+
+    ``typical_len`` only affects the FLOP estimate (sentences vary in length;
+    the paper trains with minibatch size 1 for this workload).
+    Returns ``(model, criterion, info)``.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    h1 = _scaled(200, width)
+    nkern = _scaled(1000, width)
+    h2 = _scaled(1000, width)
+    model = Sequential(
+        Linear(embed_dim, h1, dtype=dtype, rng=rng),
+        Tanh(),
+        TemporalConvolution(h1, nkern, kw=2, dtype=dtype, rng=rng),
+        TemporalMaxPooling(2),
+        Tanh(),
+        MaxOverTime(),
+        Linear(nkern, h2, dtype=dtype, rng=rng),
+        Tanh(),
+        Linear(h2, num_classes, dtype=dtype, rng=rng),
+    )
+    in_shape = (typical_len, embed_dim)
+    out_shape = model.output_shape(in_shape)
+    if out_shape != (num_classes,):
+        raise RuntimeError(f"unexpected head shape {out_shape}")  # pragma: no cover
+    info = ModelInfo(
+        name=f"nlcf-net-w{width:g}",
+        num_parameters=model.num_parameters(),
+        param_bytes=float(model.num_parameters() * np.dtype(dtype).itemsize),
+        flops_forward_per_example=model.flops_per_example(in_shape),
+        default_minibatch=1,
+    )
+    return model, CrossEntropyLoss(), info

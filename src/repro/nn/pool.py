@@ -1,0 +1,77 @@
+"""Pooling layers (spatial max pooling, Torch floor semantics)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["MaxPool2d"]
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling on NCHW input.
+
+    Kernel equals stride (the paper's "(height, width) = (2, 2)" rows), with
+    floor division: trailing rows/columns that don't fill a window are
+    dropped, matching Torch's ``SpatialMaxPooling`` default.  The backward
+    pass routes the gradient to each window's argmax (first occurrence on
+    ties, as a deterministic convention).
+    """
+
+    def __init__(self, kernel_size: int | Tuple[int, int]) -> None:
+        super().__init__()
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.kh, self.kw = kernel_size
+        if self.kh < 1 or self.kw < 1:
+            raise ValueError(f"bad kernel size {kernel_size}")
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        oh, ow = h // self.kh, w // self.kw
+        if oh < 1 or ow < 1:
+            raise ValueError(f"input {h}x{w} smaller than pool {self.kh}x{self.kw}")
+        xc = x[:, :, : oh * self.kh, : ow * self.kw]
+        win = xc.reshape(n, c, oh, self.kh, ow, self.kw)
+        win = win.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, self.kh * self.kw)
+        arg = win.argmax(axis=-1)
+        out = np.take_along_axis(win, arg[..., None], axis=-1)[..., 0]
+        self._argmax = arg
+        self._x_shape = x.shape
+        return np.ascontiguousarray(out)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        arg, x_shape = self._argmax, self._x_shape
+        if arg is None or x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._argmax = None
+        self._x_shape = None
+        n, c, h, w = x_shape
+        oh, ow = h // self.kh, w // self.kw
+        gwin = np.zeros((n, c, oh, ow, self.kh * self.kw), dtype=grad_out.dtype)
+        np.put_along_axis(gwin, arg[..., None], grad_out[..., None], axis=-1)
+        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        gwin6 = gwin.reshape(n, c, oh, ow, self.kh, self.kw).transpose(0, 1, 2, 4, 3, 5)
+        gx[:, :, : oh * self.kh, : ow * self.kw] = gwin6.reshape(
+            n, c, oh * self.kh, ow * self.kw
+        )
+        return gx
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        c, h, w = in_shape
+        oh, ow = h // self.kh, w // self.kw
+        if oh < 1 or ow < 1:
+            raise ValueError(f"shape {in_shape} too small for pool {self.kh}x{self.kw}")
+        return (c, oh, ow)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        c, oh, ow = self.output_shape(in_shape)
+        return float(c * oh * ow * self.kh * self.kw)  # one compare per element
+
+    def extra_repr(self) -> str:
+        return f"k=({self.kh},{self.kw})"

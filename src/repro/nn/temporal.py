@@ -1,0 +1,194 @@
+"""Temporal (1-D) layers for the NLC-F sentence network.
+
+Input convention follows Torch's temporal modules: ``(N, L, C)`` — batch,
+sequence length, frame size.  Table II's "Temporal Convolution: (nkern,
+window size) = (1000, 2)" is :class:`TemporalConvolution` with ``kw=2``;
+the "Max-Pooling (2, 1)" row is :class:`TemporalMaxPooling(2)`; and
+:class:`MaxOverTime` collapses the remaining variable-length sequence to a
+fixed vector before the fully connected head (the standard max-over-time
+read-out for sentence classification — the paper's table omits this glue, but
+the 1000×1000 FC that follows requires it; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from .init import torch_uniform_
+from .module import Module, Parameter
+
+__all__ = ["TemporalConvolution", "TemporalMaxPooling", "MaxOverTime"]
+
+
+class TemporalConvolution(Module):
+    """1-D convolution over the sequence axis, stride 1.
+
+    ``(N, L, Cin) → (N, L−kw+1, Cout)`` with weight ``(Cout, kw*Cin)`` exactly
+    as Torch's ``nn.TemporalConvolution`` lays it out.
+    """
+
+    def __init__(
+        self,
+        input_frame_size: int,
+        output_frame_size: int,
+        kw: int,
+        bias: bool = True,
+        dtype=np.float32,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if kw < 1:
+            raise ValueError(f"kw must be >= 1, got {kw}")
+        self.cin = input_frame_size
+        self.cout = output_frame_size
+        self.kw = kw
+        rng = rng if rng is not None else np.random.default_rng(0)
+        fan_in = kw * input_frame_size
+        w = np.empty((output_frame_size, fan_in), dtype=dtype)
+        torch_uniform_(w, fan_in, rng)
+        self.weight = self.register_parameter(Parameter(w, "weight"))
+        if bias:
+            b = np.empty(output_frame_size, dtype=dtype)
+            torch_uniform_(b, fan_in, rng)
+            self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
+        else:
+            self.bias = None
+        self._col: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, ell, c = x.shape
+        if c != self.cin:
+            raise ValueError(f"expected frame size {self.cin}, got {c}")
+        if ell < self.kw:
+            raise ValueError(f"sequence length {ell} shorter than window {self.kw}")
+        lo = ell - self.kw + 1
+        # windows over time: (N, LO, kw, C) -> (N, LO, kw*C)
+        win = sliding_window_view(x, self.kw, axis=1)  # (N, LO, C, kw)
+        col = np.ascontiguousarray(win.transpose(0, 1, 3, 2)).reshape(n, lo, self.kw * c)
+        self._col = col
+        self._x_shape = x.shape
+        y = col @ self.weight.data.T
+        if self.bias is not None:
+            y += self.bias.data
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        col, x_shape = self._col, self._x_shape
+        if col is None or x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._col = None
+        self._x_shape = None
+        n, ell, c = x_shape
+        lo = ell - self.kw + 1
+        go2 = grad_out.reshape(-1, self.cout)
+        col2 = col.reshape(-1, self.kw * c)
+        self.weight.grad += go2.T @ col2
+        if self.bias is not None:
+            self.bias.grad += go2.sum(axis=0)
+        gcol = (grad_out @ self.weight.data).reshape(n, lo, self.kw, c)
+        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        for k in range(self.kw):
+            gx[:, k : k + lo, :] += gcol[:, :, k, :]
+        return gx
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        ell, c = in_shape
+        if c != self.cin or ell < self.kw:
+            raise ValueError(f"shape {in_shape} incompatible with {self!r}")
+        return (ell - self.kw + 1, self.cout)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        lo, _ = self.output_shape(in_shape)
+        return 2.0 * lo * self.kw * self.cin * self.cout
+
+    def extra_repr(self) -> str:
+        return f"{self.cin}->{self.cout}, kw={self.kw}"
+
+
+class TemporalMaxPooling(Module):
+    """Non-overlapping max pooling over time: ``(N, L, C) → (N, L//kw, C)``."""
+
+    def __init__(self, kw: int) -> None:
+        super().__init__()
+        if kw < 1:
+            raise ValueError(f"kw must be >= 1, got {kw}")
+        self.kw = kw
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, ell, c = x.shape
+        lo = ell // self.kw
+        if lo < 1:
+            raise ValueError(f"sequence length {ell} shorter than pool {self.kw}")
+        win = x[:, : lo * self.kw, :].reshape(n, lo, self.kw, c)
+        arg = win.argmax(axis=2)
+        out = np.take_along_axis(win, arg[:, :, None, :], axis=2)[:, :, 0, :]
+        self._argmax = arg
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        arg, x_shape = self._argmax, self._x_shape
+        if arg is None or x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._argmax = None
+        self._x_shape = None
+        n, ell, c = x_shape
+        lo = ell // self.kw
+        gwin = np.zeros((n, lo, self.kw, c), dtype=grad_out.dtype)
+        np.put_along_axis(gwin, arg[:, :, None, :], grad_out[:, :, None, :], axis=2)
+        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        gx[:, : lo * self.kw, :] = gwin.reshape(n, lo * self.kw, c)
+        return gx
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        ell, c = in_shape
+        lo = ell // self.kw
+        if lo < 1:
+            raise ValueError(f"shape {in_shape} too short for pool kw={self.kw}")
+        return (lo, c)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        lo, c = self.output_shape(in_shape)
+        return float(lo * c * self.kw)
+
+    def extra_repr(self) -> str:
+        return f"kw={self.kw}"
+
+
+class MaxOverTime(Module):
+    """Global max over the sequence axis: ``(N, L, C) → (N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        arg = x.argmax(axis=1)
+        out = np.take_along_axis(x, arg[:, None, :], axis=1)[:, 0, :]
+        self._argmax = arg
+        self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        arg, x_shape = self._argmax, self._x_shape
+        if arg is None or x_shape is None:
+            raise RuntimeError("backward before forward")
+        self._argmax = None
+        self._x_shape = None
+        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        np.put_along_axis(gx, arg[:, None, :], grad_out[:, None, :], axis=1)
+        return gx
+
+    def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+        ell, c = in_shape
+        return (c,)
+
+    def flops_per_example(self, in_shape: Tuple[int, ...]) -> float:
+        return float(np.prod(in_shape))

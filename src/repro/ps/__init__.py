@@ -1,0 +1,5 @@
+"""Sharded parameter server substrate for the ASGD baselines."""
+
+from .server import PSClient, ShardLayout, ShardedParameterServer
+
+__all__ = ["PSClient", "ShardLayout", "ShardedParameterServer"]

@@ -1,0 +1,245 @@
+"""Sharded parameter server (the Downpour/EAMSGD aggregation substrate).
+
+The paper's ASGD baselines aggregate through a parameter server on the host
+CPUs: learners *push* gradients and *pull* parameters; EAMSGD instead runs an
+*elastic* exchange against a center variable.  The server is sharded — "a
+sharded server alleviates the aggregation speed problem but introduces
+inconsistencies for parameters distributed on multiple shards" — and this
+implementation reproduces both halves of that sentence:
+
+* each shard owns a contiguous slice of the flat parameter vector and serves
+  requests independently (its own process + service queue), so aggregate
+  service rate scales with shard count;
+* a learner's pull assembles slices that may straddle other learners' pushes,
+  i.e. the assembled vector can be a mixture of parameter versions — genuine
+  sharded-PS inconsistency, not a model of it.
+
+All request/reply traffic crosses the narrow host channel of the topology,
+which is what the Fig. 1 communication-fraction reproduction measures.
+
+Staleness accounting: every shard counts applied pushes in a version counter;
+pulls return the version, pushes return the then-current version, and
+:class:`PSClient` records ``push_version − pull_version`` per push — the
+number of other updates that landed while the learner computed, i.e. the
+gradient staleness distribution (paper Sec. II-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.machine import Machine
+from ..comm.fabric import Endpoint, Fabric
+from ..sim import Delay
+
+__all__ = ["ShardLayout", "ShardedParameterServer", "PSClient"]
+
+_REQ_NBYTES = 64.0  # pull/elastic request header size
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """Contiguous partition of ``size`` parameters into shards."""
+
+    size: int
+    bounds: Tuple[Tuple[int, int], ...]
+
+    @classmethod
+    def even(cls, size: int, n_shards: int) -> "ShardLayout":
+        if n_shards < 1 or size < n_shards:
+            raise ValueError(f"cannot shard {size} params over {n_shards} shards")
+        edges = np.linspace(0, size, n_shards + 1).astype(int)
+        return cls(size=size, bounds=tuple(zip(edges[:-1], edges[1:])))
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.bounds)
+
+    def slice_bytes(self, shard: int, itemsize: int) -> float:
+        lo, hi = self.bounds[shard]
+        return float((hi - lo) * itemsize)
+
+
+class ShardedParameterServer:
+    """Host-resident shards serving push / pull / elastic requests.
+
+    ``timing_only=True`` keeps the full request/queue/apply schedule but skips
+    the parameter math (payloads are byte counts), for paper-scale epoch-time
+    experiments.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        fabric: Fabric,
+        size: int,
+        n_shards: int = 1,
+        learning_rate: float = 0.1,
+        dtype=np.float32,
+        name: str = "ps",
+        timing_only: bool = False,
+        apply_flops_per_param: float = 300.0,
+    ) -> None:
+        self.machine = machine
+        self.fabric = fabric
+        self.layout = ShardLayout.even(size, n_shards)
+        self.learning_rate = learning_rate
+        self.dtype = np.dtype(dtype)
+        self.name = name
+        self.timing_only = timing_only
+        self.apply_flops_per_param = apply_flops_per_param
+        if machine.host is None:
+            raise ValueError("machine has no host to run the parameter server on")
+        self.host_device = machine.devices[machine.host]
+        self.x = np.zeros(size, dtype=self.dtype)
+        self.versions = [0] * n_shards
+        self.pushes_applied = 0
+        self._stopping = False
+        self.endpoints: List[Endpoint] = []
+        self._procs = []
+        for sid in range(n_shards):
+            ep = fabric.attach(f"{self.name}{sid}", machine.host)
+            ep.listen_any(("req", self.name, sid))
+            self.endpoints.append(ep)
+            self._procs.append(
+                machine.engine.spawn(self._serve(sid), name=f"{self.name}{sid}")
+            )
+
+    # -- server side -------------------------------------------------------
+
+    def set_params(self, x0: np.ndarray) -> None:
+        if x0.shape != self.x.shape:
+            raise ValueError(f"shape mismatch: {x0.shape} vs {self.x.shape}")
+        self.x[...] = x0
+
+    def _apply_seconds(self, n_params: int) -> float:
+        return self.host_device.compute_seconds(self.apply_flops_per_param * n_params)
+
+    def _serve(self, sid: int) -> Generator:
+        ep = self.endpoints[sid]
+        lo, hi = self.layout.bounds[sid]
+        actor = ep.name
+        tracer = self.machine.tracer
+        while not self._stopping:
+            msg = yield from ep.recv_any(("req", self.name, sid))
+            kind, learner, seq, payload, extra = msg.payload
+            if kind == "stop":
+                break
+            # service cost scales with what the request does to the shard:
+            # pull only reads/serialises (0.5×), push deserialises + applies
+            # (1×), elastic does both plus computes e (1.5×)
+            cost_scale = {"push": 1.0, "pull": 0.5, "elastic": 1.5}.get(kind, 1.0)
+            tracer.begin(actor, "apply")
+            yield Delay(cost_scale * self._apply_seconds(hi - lo))
+            tracer.end(actor, "apply")
+            if kind == "push":
+                # gradient-descent apply in strict arrival order
+                if not self.timing_only and payload is not None:
+                    self.x[lo:hi] -= self.learning_rate * payload
+                self.versions[sid] += 1
+                self.pushes_applied += 1
+                yield from ep.send(
+                    learner, ("rep", self.name, sid, seq), self.versions[sid], nbytes=_REQ_NBYTES
+                )
+            elif kind == "pull":
+                reply = None if self.timing_only else self.x[lo:hi].copy()
+                yield from ep.send(
+                    learner,
+                    ("rep", self.name, sid, seq),
+                    (reply, self.versions[sid]),
+                    nbytes=self.layout.slice_bytes(sid, self.dtype.itemsize),
+                )
+            elif kind == "elastic":
+                # EASGD round: e = α(x_i − x̃); x̃ += e; reply e
+                alpha = extra
+                if self.timing_only or payload is None:
+                    e = None
+                else:
+                    e = alpha * (payload - self.x[lo:hi])
+                    self.x[lo:hi] += e
+                self.versions[sid] += 1
+                yield from ep.send(
+                    learner,
+                    ("rep", self.name, sid, seq),
+                    (e, self.versions[sid]),
+                    nbytes=self.layout.slice_bytes(sid, self.dtype.itemsize),
+                )
+            else:
+                raise ValueError(f"unknown request kind {kind!r}")
+
+    def stop(self) -> None:
+        """Ask shard processes to exit after their current request."""
+        self._stopping = True
+
+
+class PSClient:
+    """A learner's connection to every shard of one server."""
+
+    def __init__(self, server: ShardedParameterServer, ep: Endpoint) -> None:
+        self.server = server
+        self.ep = ep
+        self._seq = 0
+        self.staleness_samples: List[int] = []
+        self._pull_version = 0  # sum of shard versions at last pull
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _request(self, sid: int, kind: str, payload: Any, nbytes: float, extra: Any = None) -> Generator:
+        seq = self._next_seq()
+        server = self.server
+        yield from self.ep.send(
+            f"{server.name}{sid}",
+            ("req", server.name, sid),
+            (kind, self.ep.name, seq, payload, extra),
+            nbytes=nbytes,
+        )
+        msg = yield from self.ep.recv(f"{server.name}{sid}", ("rep", server.name, sid, seq))
+        return msg.payload
+
+    def push(self, grad: Optional[np.ndarray]) -> Generator:
+        """Send accumulated gradients shard by shard; returns mean staleness.
+
+        Staleness of this push = pushes applied by others between our last
+        pull and this push landing (per shard, then summed).
+        """
+        server = self.server
+        version_now = 0
+        for sid, (lo, hi) in enumerate(server.layout.bounds):
+            payload = None if grad is None else grad[lo:hi]
+            nbytes = server.layout.slice_bytes(sid, server.dtype.itemsize)
+            v = yield from self._request(sid, "push", payload, nbytes)
+            version_now += int(v)
+        # exclude our own p pushes (one per shard) from the staleness count
+        staleness = max(0, version_now - self._pull_version - server.layout.n_shards)
+        self.staleness_samples.append(staleness)
+        return staleness
+
+    def pull(self) -> Generator:
+        """Fetch the full parameter vector (may mix shard versions)."""
+        server = self.server
+        out = None if server.timing_only else np.empty_like(server.x)
+        version = 0
+        for sid, (lo, hi) in enumerate(server.layout.bounds):
+            reply, v = yield from self._request(sid, "pull", None, _REQ_NBYTES)
+            version += int(v)
+            if out is not None and reply is not None:
+                out[lo:hi] = reply
+        self._pull_version = version
+        return out
+
+    def elastic(self, x_local: Optional[np.ndarray], alpha: float) -> Generator:
+        """One EASGD exchange; returns the elastic difference e (or None)."""
+        server = self.server
+        out = None if server.timing_only else np.empty_like(server.x)
+        for sid, (lo, hi) in enumerate(server.layout.bounds):
+            payload = None if x_local is None else x_local[lo:hi]
+            nbytes = server.layout.slice_bytes(sid, server.dtype.itemsize)
+            e, _v = yield from self._request(sid, "elastic", payload, nbytes, extra=alpha)
+            if out is not None and e is not None:
+                out[lo:hi] = e
+        return out

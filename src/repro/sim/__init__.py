@@ -1,0 +1,28 @@
+"""Discrete-event simulation substrate.
+
+Provides the virtual-time engine (:class:`~repro.sim.engine.Engine`),
+synchronisation primitives (:class:`~repro.sim.resources.Resource`,
+:class:`~repro.sim.resources.Store`, :class:`~repro.sim.resources.Barrier`)
+and timeline tracing (:class:`~repro.sim.trace.Tracer`) that every simulated
+cluster component runs on.
+"""
+
+from .engine import AllOf, AnyOf, Delay, Engine, Event, Process, SimulationError
+from .resources import Barrier, Resource, Store
+from .trace import EpochBreakdown, Span, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Barrier",
+    "Delay",
+    "Engine",
+    "EpochBreakdown",
+    "Event",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Span",
+    "Store",
+    "Tracer",
+]

@@ -1,0 +1,142 @@
+"""ASGD convergence bounds (paper Sec. II-B, following Lian et al. 2015).
+
+Everything is written in the paper's notation (Table III): non-convex
+objective f, minibatch size M, learners p, learning rate γ, gradient-variance
+bound σ², Lipschitz constant L, D_f = f(x₁) − f(x*), K minibatch updates.
+
+The chain reproduced here:
+
+* Eq. (1)/(2): the constant-rate guarantee on the average gradient norm
+  R̄_K and its feasibility constraint.
+* the c-parameterisation γ = c·√(D_f/(M·K·L·σ²)) with
+  α = √(K·σ²/(M·L·D_f)) (equivalently K = α²·M·L·D_f/σ²), under which the
+  bound becomes (σ²/(αM))·(2/c + c + 2p·c²/α) — Eq. (4) — subject to
+  0 ≤ c ≤ (α/(4p²))(−1 + √(1+8p²)) — Eq. (6);
+* Eq. (7): the optimal c solves 4p·c³ + α·c² − 2α = 0;
+* Theorem 1: the optimal guarantees for 1 and p learners differ by ≈ p/α
+  when 16 ≤ α ≤ p.
+
+The "theory learning rate" that produces Fig. 3's overlapping-but-poor curves
+is :func:`lian_learning_rate` (c = 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "SurfaceConstants",
+    "asgd_bound",
+    "asgd_constraint_ok",
+    "c_max",
+    "optimal_c",
+    "bound_in_c",
+    "asgd_optimal_bound",
+    "asgd_gap_factor",
+    "theorem1_gap_approx",
+    "alpha_from_K",
+    "K_from_alpha",
+    "lian_learning_rate",
+]
+
+
+@dataclass(frozen=True)
+class SurfaceConstants:
+    """Objective-surface constants the bounds are written in."""
+
+    Df: float  # f(x1) − f(x*) (paper bounds it by f(x1))
+    L: float  # Lipschitz constant of the gradient
+    sigma2: float  # variance bound on the stochastic gradient
+
+    def __post_init__(self) -> None:
+        if self.Df <= 0 or self.L <= 0 or self.sigma2 <= 0:
+            raise ValueError("surface constants must be positive")
+
+
+def asgd_bound(
+    sc: SurfaceConstants, M: int, K: int, p: int, gamma: float
+) -> float:
+    """Eq. (1): R̄_K ≤ 2D_f/(MKγ) + σ²Lγ + 2σ²L²Mpγ²."""
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    return (
+        2.0 * sc.Df / (M * K * gamma)
+        + sc.sigma2 * sc.L * gamma
+        + 2.0 * sc.sigma2 * sc.L**2 * M * p * gamma**2
+    )
+
+
+def asgd_constraint_ok(sc: SurfaceConstants, M: int, p: int, gamma: float) -> bool:
+    """Eq. (2): LMγ + 2L²M²p²γ² ≤ 1."""
+    return sc.L * M * gamma + 2.0 * sc.L**2 * M**2 * p**2 * gamma**2 <= 1.0
+
+
+def alpha_from_K(sc: SurfaceConstants, M: int, K: int) -> float:
+    """α = √(K·σ²/(M·L·D_f))."""
+    return math.sqrt(K * sc.sigma2 / (M * sc.L * sc.Df))
+
+
+def K_from_alpha(sc: SurfaceConstants, M: int, alpha: float) -> float:
+    """K = α²·M·L·D_f/σ² (inverse of :func:`alpha_from_K`)."""
+    return alpha**2 * M * sc.L * sc.Df / sc.sigma2
+
+
+def bound_in_c(c: float, alpha: float, p: int, sigma2: float = 1.0, M: int = 1) -> float:
+    """Eq. (4): (σ²/(αM))·(2/c + c + 2p·c²/α)."""
+    if c <= 0:
+        return math.inf
+    return (sigma2 / (alpha * M)) * (2.0 / c + c + 2.0 * p * c**2 / alpha)
+
+
+def c_max(alpha: float, p: int) -> float:
+    """Eq. (6) upper end: (α/(4p²))·(−1 + √(1+8p²))."""
+    return (alpha / (4.0 * p**2)) * (-1.0 + math.sqrt(1.0 + 8.0 * p**2))
+
+
+def optimal_c(alpha: float, p: int) -> float:
+    """Optimal c: the positive root of 4p·c³ + α·c² − 2α = 0 — Eq. (7) —
+    clipped to the feasible range [0, c_max]."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    roots = np.roots([4.0 * p, alpha, 0.0, -2.0 * alpha])
+    real = [float(r.real) for r in roots if abs(r.imag) < 1e-9 * max(1.0, abs(r.real))]
+    positive = [r for r in real if r > 0]
+    if not positive:
+        raise RuntimeError("cubic has no positive root")  # pragma: no cover
+    c_star = min(positive)  # cubic with one sign change: unique positive root
+    return min(c_star, c_max(alpha, p))
+
+
+def asgd_optimal_bound(
+    alpha: float, p: int, sigma2: float = 1.0, M: int = 1
+) -> float:
+    """The best guarantee available at (α, p): Eq. (4) at the optimal c."""
+    return bound_in_c(optimal_c(alpha, p), alpha, p, sigma2, M)
+
+
+def asgd_gap_factor(alpha: float, p: int) -> float:
+    """Exact Theorem-1 gap: optimal-bound(p) / optimal-bound(1).
+
+    σ²/M cancels in the ratio.  Theorem 1 approximates this by p/α in the
+    regime 16 ≤ α ≤ p.
+    """
+    return asgd_optimal_bound(alpha, p) / asgd_optimal_bound(alpha, 1)
+
+
+def theorem1_gap_approx(alpha: float, p: int) -> float:
+    """Theorem 1's closed-form approximation of the gap: p/α."""
+    return p / alpha
+
+
+def lian_learning_rate(sc: SurfaceConstants, M: int, K: int) -> float:
+    """γ = √(D_f/(M·K·L·σ²)) — the rate Lian et al.'s analysis assumes.
+
+    This is the γ the paper estimates at ≈0.005 for CIFAR-10 with
+    M·K = 500 000: small enough that Fig. 3's curves overlap for every p
+    (linear convergence speedup) but converge to a far worse model than the
+    practical γ = 0.1.
+    """
+    return math.sqrt(sc.Df / (M * K * sc.L * sc.sigma2))

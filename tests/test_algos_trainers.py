@@ -1,0 +1,310 @@
+"""Behavioural tests for all trainers at unit scale."""
+
+import numpy as np
+import pytest
+
+from repro.algos import (
+    DownpourOptions,
+    DownpourTrainer,
+    EAMSGDOptions,
+    EAMSGDTrainer,
+    MinibatchAveragingTrainer,
+    OneShotAveragingTrainer,
+    SASGDOptions,
+    SASGDTrainer,
+    SequentialSGDTrainer,
+    TrainerConfig,
+    cifar_problem,
+    nlcf_problem,
+)
+from repro.algos.base import MetricsTape, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def cifar_unit():
+    return cifar_problem(scale="unit", seed=1)
+
+
+@pytest.fixture(scope="module")
+def nlcf_unit():
+    return nlcf_problem(scale="unit", seed=1)
+
+
+def cfg(p=2, epochs=2, batch_size=8, lr=0.02, seed=3, eval_every=1):
+    return TrainerConfig(
+        p=p, epochs=epochs, batch_size=batch_size, lr=lr, seed=seed, eval_every=eval_every
+    )
+
+
+# -- TrainerConfig validation ------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(p=0),
+        dict(epochs=0),
+        dict(batch_size=0),
+        dict(lr=0.0),
+        dict(eval_every=0),
+    ],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        TrainerConfig(**kwargs)
+
+
+# -- metrics tape --------------------------------------------------------------------
+
+
+def test_tape_counts_epochs(cifar_unit):
+    tape = MetricsTape(cifar_unit, cfg(epochs=3), clock=lambda: 1.5)
+    n = cifar_unit.n_train
+    total_crossed = 0
+    for _ in range(3 * n // 8):
+        total_crossed += tape.on_batch(8, 1.0, 0.5)
+    assert total_crossed == 3
+    tape.record_epochs(total_crossed, None)
+    assert tape.epoch == 3
+    assert tape.done
+    assert all(r.virtual_time == 1.5 for r in tape.records)
+
+
+def test_tape_boundaries_reported_once(cifar_unit):
+    tape = MetricsTape(cifar_unit, cfg(epochs=2), clock=lambda: 0.0)
+    n = cifar_unit.n_train
+    crossings = [tape.on_batch(n, 1.0, 0.5) for _ in range(3)]
+    assert crossings == [1, 1, 1]
+
+
+def test_tape_window_statistics(cifar_unit):
+    tape = MetricsTape(cifar_unit, cfg(epochs=1), clock=lambda: 0.0)
+    n = cifar_unit.n_train
+    tape.on_batch(n // 2, 2.0, 0.4)
+    crossed = tape.on_batch(n - n // 2, 4.0, 0.6)
+    tape.record_epochs(crossed, None)
+    rec = tape.records[0]
+    assert rec.train_loss == pytest.approx(3.0)
+    assert rec.train_acc == pytest.approx(0.5)
+
+
+# -- sequential SGD --------------------------------------------------------------------
+
+
+def test_sgd_requires_p1(cifar_unit):
+    with pytest.raises(ValueError):
+        SequentialSGDTrainer(cifar_unit, cfg(p=2))
+
+
+def test_sgd_produces_epoch_records(cifar_unit):
+    res = SequentialSGDTrainer(cifar_unit, cfg(p=1, epochs=3)).train()
+    assert res.algorithm == "sgd"
+    assert [r.epoch for r in res.records] == [1, 2, 3]
+    assert res.virtual_seconds > 0
+    assert all(np.isfinite(r.train_loss) for r in res.records)
+
+
+def test_sgd_deterministic(cifar_unit):
+    a = SequentialSGDTrainer(cifar_unit, cfg(p=1)).train()
+    b = SequentialSGDTrainer(cifar_unit, cfg(p=1)).train()
+    assert a.series("train_loss") == b.series("train_loss")
+    assert a.series("test_acc") == b.series("test_acc")
+
+
+def test_sgd_loss_decreases(cifar_unit):
+    res = SequentialSGDTrainer(cifar_unit, cfg(p=1, epochs=6, lr=0.05)).train()
+    losses = res.series("train_loss")
+    assert losses[-1] < losses[0]
+
+
+# -- SASGD ------------------------------------------------------------------------------
+
+
+def test_sasgd_options_validation():
+    with pytest.raises(ValueError):
+        SASGDOptions(T=0)
+
+
+def test_sasgd_runs_and_records(cifar_unit):
+    res = SASGDTrainer(cifar_unit, cfg(p=4), SASGDOptions(T=2)).train()
+    assert res.algorithm == "sasgd"
+    assert len(res.records) >= 2
+    assert res.extras["T"] == 2
+    assert res.extras["total_bytes"] > 0
+
+
+def test_sasgd_default_gamma_p_is_lr_over_sqrt_p(cifar_unit):
+    tr = SASGDTrainer(cifar_unit, cfg(p=4, lr=0.1), SASGDOptions(T=1))
+    assert tr.sasgd_config.gamma_p == pytest.approx(0.05)
+
+
+def test_sasgd_learners_agree_after_training(cifar_unit):
+    tr = SASGDTrainer(cifar_unit, cfg(p=3), SASGDOptions(T=2))
+    tr.train()
+    x0 = tr.workloads[0].flat.data
+    for wl in tr.workloads[1:]:
+        np.testing.assert_allclose(wl.flat.data, x0, rtol=1e-5, atol=1e-6)
+
+
+def test_sasgd_deterministic(cifar_unit):
+    a = SASGDTrainer(cifar_unit, cfg(p=2), SASGDOptions(T=2)).train()
+    b = SASGDTrainer(cifar_unit, cfg(p=2), SASGDOptions(T=2)).train()
+    np.testing.assert_array_equal(
+        np.asarray(a.series("train_loss")), np.asarray(b.series("train_loss"))
+    )
+
+
+def test_sasgd_larger_T_fewer_allreduces(cifar_unit):
+    a = SASGDTrainer(cifar_unit, cfg(p=2), SASGDOptions(T=1))
+    b = SASGDTrainer(cifar_unit, cfg(p=2), SASGDOptions(T=4))
+    ra, rb = a.train(), b.train()
+    assert ra.extras["intervals"] > rb.extras["intervals"]
+    assert ra.extras["total_bytes"] > rb.extras["total_bytes"]
+
+
+def test_sasgd_p1_works(cifar_unit):
+    res = SASGDTrainer(cifar_unit, cfg(p=1), SASGDOptions(T=2)).train()
+    assert res.final_test_acc is not None
+
+
+@pytest.mark.parametrize("algo", ["ring", "tree", "recursive_doubling"])
+def test_sasgd_allreduce_algorithms_all_work(cifar_unit, algo):
+    res = SASGDTrainer(
+        cifar_unit, cfg(p=2, epochs=1), SASGDOptions(T=2, allreduce_algorithm=algo)
+    ).train()
+    assert len(res.records) >= 1
+
+
+def test_sasgd_comm_fraction_reported(cifar_unit):
+    res = SASGDTrainer(cifar_unit, cfg(p=4), SASGDOptions(T=1)).train()
+    assert 0.0 < res.extras["comm_fraction"] < 1.0
+
+
+# -- Downpour ------------------------------------------------------------------------------
+
+
+def test_downpour_options_validation():
+    with pytest.raises(ValueError):
+        DownpourOptions(T=0)
+    with pytest.raises(ValueError):
+        DownpourOptions(n_shards=0)
+
+
+def test_downpour_runs_and_tracks_staleness(cifar_unit):
+    res = DownpourTrainer(cifar_unit, cfg(p=4), DownpourOptions(T=2)).train()
+    assert res.algorithm == "downpour"
+    assert res.extras["pushes_applied"] > 0
+    assert res.extras["staleness_mean"] >= 0
+
+
+def test_downpour_staleness_grows_with_p(cifar_unit):
+    r2 = DownpourTrainer(cifar_unit, cfg(p=2), DownpourOptions(T=1)).train()
+    r8 = DownpourTrainer(cifar_unit, cfg(p=8), DownpourOptions(T=1)).train()
+    assert r8.extras["staleness_mean"] > r2.extras["staleness_mean"]
+
+
+def test_downpour_deterministic(cifar_unit):
+    a = DownpourTrainer(cifar_unit, cfg(p=2), DownpourOptions(T=2)).train()
+    b = DownpourTrainer(cifar_unit, cfg(p=2), DownpourOptions(T=2)).train()
+    assert a.series("train_loss") == b.series("train_loss")
+
+
+def test_downpour_p1_staleness_zero(cifar_unit):
+    res = DownpourTrainer(cifar_unit, cfg(p=1), DownpourOptions(T=1)).train()
+    assert res.extras["staleness_mean"] == 0.0
+
+
+def test_downpour_comm_dominates_sasgd_comm(cifar_unit):
+    """Per-learner comm share is higher through the PS than via allreduce."""
+    d = DownpourTrainer(cifar_unit, cfg(p=4), DownpourOptions(T=1)).train()
+    s = SASGDTrainer(cifar_unit, cfg(p=4), SASGDOptions(T=1)).train()
+    assert d.extras["comm_seconds_per_learner"] > s.extras["comm_seconds_per_learner"]
+
+
+# -- EAMSGD -----------------------------------------------------------------------------------
+
+
+def test_eamsgd_options_validation():
+    with pytest.raises(ValueError):
+        EAMSGDOptions(tau=0)
+    with pytest.raises(ValueError):
+        EAMSGDOptions(beta=0.0)
+    with pytest.raises(ValueError):
+        EAMSGDOptions(momentum=1.0)
+
+
+def test_eamsgd_runs(cifar_unit):
+    res = EAMSGDTrainer(cifar_unit, cfg(p=4), EAMSGDOptions(tau=2)).train()
+    assert res.algorithm == "eamsgd"
+    assert res.extras["alpha"] == pytest.approx(0.9 / 4)
+    assert len(res.records) >= 2
+
+
+def test_eamsgd_deterministic(cifar_unit):
+    a = EAMSGDTrainer(cifar_unit, cfg(p=2), EAMSGDOptions(tau=2)).train()
+    b = EAMSGDTrainer(cifar_unit, cfg(p=2), EAMSGDOptions(tau=2)).train()
+    assert a.series("train_loss") == b.series("train_loss")
+
+
+def test_eamsgd_center_moves(cifar_unit):
+    tr = EAMSGDTrainer(cifar_unit, cfg(p=2), EAMSGDOptions(tau=1))
+    x0 = tr.server.x.copy()
+    tr.train()
+    assert not np.allclose(tr.server.x, x0)
+
+
+# -- model averaging -----------------------------------------------------------------------------
+
+
+def test_oneshot_averaging_runs(cifar_unit):
+    res = OneShotAveragingTrainer(cifar_unit, cfg(p=2, epochs=1)).train()
+    assert res.algorithm == "oneshot-averaging"
+    assert len(res.records) == 1
+    assert res.records[0].test_acc is not None
+
+
+def test_minibatch_averaging_runs(cifar_unit):
+    res = MinibatchAveragingTrainer(cifar_unit, cfg(p=2, epochs=1)).train()
+    assert res.algorithm == "minibatch-averaging"
+    assert len(res.records) == 1
+
+
+def test_minibatch_averaging_keeps_replicas_identical(cifar_unit):
+    tr = MinibatchAveragingTrainer(cifar_unit, cfg(p=3, epochs=1))
+    tr.train()
+    for wl in tr.workloads[1:]:
+        np.testing.assert_allclose(wl.flat.data, tr.workloads[0].flat.data, rtol=1e-6)
+
+
+# -- NLC-F path (sequence data, M=1) ---------------------------------------------------------------
+
+
+def test_trainers_on_sequence_data(nlcf_unit):
+    c = TrainerConfig(p=2, epochs=1, batch_size=1, lr=0.02, seed=3)
+    for maker in (
+        lambda: SASGDTrainer(nlcf_unit, c, SASGDOptions(T=2)),
+        lambda: DownpourTrainer(nlcf_unit, c, DownpourOptions(T=2)),
+        lambda: EAMSGDTrainer(nlcf_unit, c, EAMSGDOptions(tau=2)),
+    ):
+        res = maker().train()
+        assert res.final_test_acc is not None
+        assert np.isfinite(res.records[-1].train_loss)
+
+
+# -- evaluate_model ----------------------------------------------------------------------------------
+
+
+def test_evaluate_model_restores_training_mode(cifar_unit):
+    from repro.algos.base import LearnerWorkload, spawn_rngs
+
+    rngs = spawn_rngs(0, 3)
+    wl = LearnerWorkload(cifar_unit, 8, rngs[0], rngs[1], rngs[2])
+    acc, loss = evaluate_model(wl.model, cifar_unit.test_set, batch=16)
+    assert 0.0 <= acc <= 1.0 and np.isfinite(loss)
+    assert wl.model.training
+
+
+def test_virtual_time_increases_with_epochs(cifar_unit):
+    r1 = SASGDTrainer(cifar_unit, cfg(p=2, epochs=1), SASGDOptions(T=2)).train()
+    r2 = SASGDTrainer(cifar_unit, cfg(p=2, epochs=3), SASGDOptions(T=2)).train()
+    assert r2.virtual_seconds > r1.virtual_seconds

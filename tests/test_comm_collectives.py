@@ -1,0 +1,310 @@
+"""Correctness and traffic tests for the collective algorithms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_binary_tree_topology
+from repro.comm import (
+    ALLREDUCE_ALGORITHMS,
+    Fabric,
+    allgather_ring,
+    allreduce,
+    allreduce_recursive_doubling,
+    allreduce_ring,
+    allreduce_tree,
+    broadcast,
+    reduce,
+)
+from repro.sim import Engine
+
+
+def run_collective(p, fn_builder, contention=True, n_leaves=None):
+    """SPMD-run a collective: fn_builder(ep, names, rank) -> coroutine."""
+    if n_leaves is None:
+        n_leaves = 1
+        while n_leaves < p:
+            n_leaves *= 2
+        n_leaves = min(8, n_leaves)
+    eng = Engine()
+    topo = build_binary_tree_topology(max(1, n_leaves))
+    fab = Fabric(eng, topo, contention=contention)
+    names = [f"r{i}" for i in range(p)]
+    eps = [fab.attach(names[i], f"gpu{i % n_leaves}") for i in range(p)]
+    results = {}
+
+    def worker(rank):
+        out = yield from fn_builder(eps[rank], names, rank)
+        results[rank] = out
+
+    procs = [eng.spawn(worker(i), name=names[i]) for i in range(p)]
+    eng.run()
+    for proc in procs:
+        assert proc.finished, f"{proc.name} deadlocked"
+    return results, fab, eng
+
+
+# -- broadcast -----------------------------------------------------------------
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8])
+@pytest.mark.parametrize("root", [0, 1])
+def test_broadcast_delivers_root_value(p, root):
+    if root >= p:
+        pytest.skip("root out of range")
+    data = np.arange(7, dtype=np.float64)
+
+    def build(ep, names, rank):
+        arr = data if rank == root else None
+        return broadcast(ep, names, rank, arr, root=root, nbytes=data.nbytes, ctx="b")
+
+    results, _, _ = run_collective(p, build)
+    for rank in range(p):
+        assert np.array_equal(results[rank], data)
+
+
+def test_broadcast_rank_validation():
+    eng = Engine()
+    topo = build_binary_tree_topology(1)
+    fab = Fabric(eng, topo)
+    ep = fab.attach("r0", "gpu0")
+    with pytest.raises(ValueError):
+        eng.run_process(broadcast(ep, ["r0"], 5, np.zeros(1)))
+
+
+# -- reduce ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+def test_reduce_sums_to_root(p):
+    def build(ep, names, rank):
+        arr = np.full(5, float(rank + 1))
+        return reduce(ep, names, rank, arr, root=0, ctx="r")
+
+    results, _, _ = run_collective(p, build)
+    expected = sum(range(1, p + 1))
+    assert np.allclose(results[0], expected)
+    for rank in range(1, p):
+        assert results[rank] is None
+
+
+def test_reduce_does_not_mutate_input():
+    def build(ep, names, rank):
+        arr = np.full(3, float(rank))
+        def inner():
+            out = yield from reduce(ep, names, rank, arr, ctx="r")
+            return (arr.copy(), out)
+        return inner()
+
+    results, _, _ = run_collective(4, build)
+    for rank in range(4):
+        original, _ = results[rank]
+        assert np.allclose(original, rank)
+
+
+# -- allgather -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+def test_allgather_ring_collects_in_rank_order(p):
+    def build(ep, names, rank):
+        return allgather_ring(ep, names, rank, np.array([float(rank)]), ctx="g")
+
+    results, _, _ = run_collective(p, build)
+    for rank in range(p):
+        gathered = [float(np.asarray(piece)[0]) for piece in results[rank]]
+        assert gathered == [float(i) for i in range(p)]
+
+
+# -- allreduce: all algorithms, exact sums ----------------------------------------
+
+
+@pytest.mark.parametrize("algo", sorted(ALLREDUCE_ALGORITHMS))
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_allreduce_sum_pow2(algo, p):
+    rng = np.random.default_rng(p)
+    inputs = [rng.standard_normal(33) for _ in range(p)]
+    expected = np.sum(inputs, axis=0)
+
+    def build(ep, names, rank):
+        return ALLREDUCE_ALGORITHMS[algo](ep, names, rank, inputs[rank], ctx=("a", algo))
+
+    results, _, _ = run_collective(p, build)
+    for rank in range(p):
+        assert np.allclose(results[rank], expected), (algo, rank)
+
+
+@pytest.mark.parametrize("algo", ["ring", "tree"])
+@pytest.mark.parametrize("p", [3, 5, 6, 7])
+def test_allreduce_sum_non_pow2(algo, p):
+    rng = np.random.default_rng(p)
+    inputs = [rng.standard_normal(10) for _ in range(p)]
+    expected = np.sum(inputs, axis=0)
+
+    def build(ep, names, rank):
+        return ALLREDUCE_ALGORITHMS[algo](ep, names, rank, inputs[rank], ctx="a")
+
+    results, _, _ = run_collective(p, build)
+    for rank in range(p):
+        assert np.allclose(results[rank], expected)
+
+
+def test_recursive_doubling_rejects_non_pow2():
+    def build(ep, names, rank):
+        return allreduce_recursive_doubling(ep, names, rank, np.zeros(3), ctx="a")
+
+    with pytest.raises(ValueError, match="power-of-two"):
+        run_collective(3, build)
+
+
+def test_allreduce_dispatch_falls_back_to_ring_for_non_pow2():
+    inputs = [np.full(4, float(r)) for r in range(3)]
+
+    def build(ep, names, rank):
+        return allreduce(ep, names, rank, inputs[rank], ctx="a", algorithm="recursive_doubling")
+
+    results, _, _ = run_collective(3, build)
+    assert np.allclose(results[0], 0 + 1 + 2)
+
+
+def test_allreduce_dispatch_unknown_algorithm():
+    eng = Engine()
+    topo = build_binary_tree_topology(1)
+    fab = Fabric(eng, topo)
+    ep = fab.attach("r0", "gpu0")
+    with pytest.raises(ValueError, match="unknown allreduce"):
+        eng.run_process(allreduce(ep, ["r0"], 0, np.zeros(1), algorithm="nope"))
+
+
+def test_allreduce_does_not_mutate_inputs():
+    inputs = [np.full(8, float(r)) for r in range(4)]
+    snapshots = [arr.copy() for arr in inputs]
+
+    def build(ep, names, rank):
+        return allreduce_ring(ep, names, rank, inputs[rank], ctx="a")
+
+    run_collective(4, build)
+    for arr, snap in zip(inputs, snapshots):
+        assert np.array_equal(arr, snap)
+
+
+def test_consecutive_allreduces_do_not_crosstalk():
+    """Distinct ctx values keep rounds separate even when interleaved."""
+    p = 4
+    rng = np.random.default_rng(0)
+    round1 = [rng.standard_normal(6) for _ in range(p)]
+    round2 = [rng.standard_normal(6) for _ in range(p)]
+
+    def build(ep, names, rank):
+        def inner():
+            a = yield from allreduce_ring(ep, names, rank, round1[rank], ctx=1)
+            b = yield from allreduce_ring(ep, names, rank, round2[rank], ctx=2)
+            return a, b
+
+        return inner()
+
+    results, _, _ = run_collective(p, build)
+    for rank in range(p):
+        a, b = results[rank]
+        assert np.allclose(a, np.sum(round1, axis=0))
+        assert np.allclose(b, np.sum(round2, axis=0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.integers(min_value=1, max_value=8),
+    size=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=2**16),
+    algo=st.sampled_from(["ring", "tree"]),
+)
+def test_allreduce_matches_numpy_sum_property(p, size, seed, algo):
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(size) for _ in range(p)]
+    expected = np.sum(inputs, axis=0)
+
+    def build(ep, names, rank):
+        return ALLREDUCE_ALGORITHMS[algo](ep, names, rank, inputs[rank], ctx="h")
+
+    results, _, _ = run_collective(p, build, contention=False)
+    for rank in range(p):
+        np.testing.assert_allclose(results[rank], expected, rtol=1e-10, atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    p=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_allreduce_algorithms_agree_property(p, seed):
+    rng = np.random.default_rng(seed)
+    inputs = [rng.standard_normal(17) for _ in range(p)]
+    outs = {}
+    for algo in sorted(ALLREDUCE_ALGORITHMS):
+        def build(ep, names, rank, algo=algo):
+            return ALLREDUCE_ALGORITHMS[algo](ep, names, rank, inputs[rank], ctx=algo)
+
+        results, _, _ = run_collective(p, build, contention=False)
+        outs[algo] = results[0]
+    base = outs.pop("ring")
+    for algo, out in outs.items():
+        np.testing.assert_allclose(out, base, rtol=1e-9)
+
+
+# -- traffic accounting vs the closed-form counts ---------------------------------
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_tree_allreduce_traffic_matches_formula(p):
+    nbytes = 1000.0
+
+    def build(ep, names, rank):
+        return allreduce_tree(ep, names, rank, None, nbytes=nbytes, ctx="t")
+
+    _, fab, _ = run_collective(p, build)
+    # reduce: p-1 sends; broadcast: p-1 sends; all of m bytes
+    assert fab.total_bytes == pytest.approx(2 * (p - 1) * nbytes)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_ring_allreduce_per_rank_bytes(p):
+    nbytes = 800.0
+
+    def build(ep, names, rank):
+        return allreduce_ring(ep, names, rank, None, nbytes=nbytes, ctx="t")
+
+    results, fab, _ = run_collective(p, build)
+    # each rank sends 2(p-1) chunks of m/p bytes
+    assert fab.total_bytes == pytest.approx(p * 2 * (p - 1) * nbytes / p)
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_recursive_doubling_traffic(p):
+    nbytes = 512.0
+
+    def build(ep, names, rank):
+        return allreduce_recursive_doubling(ep, names, rank, None, nbytes=nbytes, ctx="t")
+
+    _, fab, _ = run_collective(p, build)
+    assert fab.total_bytes == pytest.approx(p * math.log2(p) * nbytes)
+
+
+def test_timing_only_mode_returns_none():
+    def build(ep, names, rank):
+        return allreduce_ring(ep, names, rank, None, nbytes=100.0, ctx="t")
+
+    results, _, _ = run_collective(4, build)
+    assert all(v is None for v in results.values())
+
+
+def test_p1_allreduce_copies_not_aliases():
+    arr = np.ones(4)
+
+    def build(ep, names, rank):
+        return allreduce_ring(ep, names, rank, arr, ctx="t")
+
+    results, _, _ = run_collective(1, build)
+    assert np.array_equal(results[0], arr)
+    assert results[0] is not arr

@@ -1,0 +1,145 @@
+"""Unit tests for the analytic alpha-beta cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import (
+    LinkParams,
+    allreduce_seconds,
+    allreduce_traffic_bytes,
+    broadcast_seconds,
+    ps_epoch_seconds,
+    ps_roundtrip_seconds,
+    ps_traffic_bytes,
+    sasgd_epoch_comm_seconds,
+)
+
+LINK = LinkParams(alpha=1e-5, beta=1e-9)
+
+
+def test_link_params_from_bandwidth():
+    lp = LinkParams.from_bandwidth(2e9, latency=1e-6)
+    assert lp.beta == pytest.approx(5e-10)
+    assert lp.message_seconds(2e9) == pytest.approx(1.0 + 1e-6)
+
+
+def test_allreduce_p1_is_free():
+    assert allreduce_seconds(1e6, 1, LINK) == 0.0
+
+
+def test_allreduce_invalid_p():
+    with pytest.raises(ValueError):
+        allreduce_seconds(1e6, 0, LINK)
+
+
+def test_allreduce_unknown_algorithm():
+    with pytest.raises(ValueError):
+        allreduce_seconds(1e6, 4, LINK, algorithm="nope")
+
+
+def test_ring_formula():
+    m, p = 1e6, 4
+    expected = 2 * 3 * LINK.alpha + 2 * (3 / 4) * m * LINK.beta
+    assert allreduce_seconds(m, p, LINK, "ring") == pytest.approx(expected)
+
+
+def test_recursive_doubling_formula():
+    m, p = 1e6, 8
+    expected = 3 * (LINK.alpha + m * LINK.beta)
+    assert allreduce_seconds(m, p, LINK, "recursive_doubling") == pytest.approx(expected)
+
+
+def test_tree_is_twice_broadcast():
+    m, p = 1e6, 8
+    assert allreduce_seconds(m, p, LINK, "tree") == pytest.approx(
+        2 * broadcast_seconds(m, p, LINK)
+    )
+
+
+def test_broadcast_p1_free():
+    assert broadcast_seconds(1e6, 1, LINK) == 0.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    m=st.floats(min_value=1.0, max_value=1e9),
+    p=st.integers(min_value=2, max_value=1024),
+)
+def test_ring_bandwidth_term_bounded_by_2m_beta(m, p):
+    """Ring allreduce moves at most 2m bytes per rank regardless of p."""
+    t = allreduce_seconds(m, p, LINK, "ring")
+    assert t <= 2 * (p - 1) * LINK.alpha + 2 * m * LINK.beta + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(p=st.integers(min_value=2, max_value=256), m=st.floats(min_value=1, max_value=1e8))
+def test_traffic_ps_exceeds_tree_critical_path(p, m):
+    """The paper's O(mp) vs O(m log p): PS bytes beat the allreduce critical
+    path for every p >= 2."""
+    assert ps_traffic_bytes(m, p) >= allreduce_traffic_bytes(m, p, "tree_depth")
+
+
+def test_traffic_formulas():
+    m, p = 1000.0, 8
+    assert allreduce_traffic_bytes(m, p, "tree") == 2 * 7 * m
+    assert allreduce_traffic_bytes(m, p, "tree_depth") == 2 * 3 * m
+    assert allreduce_traffic_bytes(m, p, "ring") == 2 * 7 * m
+    assert allreduce_traffic_bytes(m, p, "recursive_doubling") == 8 * 3 * m
+    assert ps_traffic_bytes(m, p) == 2 * p * m
+    assert allreduce_traffic_bytes(m, 1) == 0.0
+
+
+def test_traffic_unknown_algorithm():
+    with pytest.raises(ValueError):
+        allreduce_traffic_bytes(1e6, 4, "nope")
+
+
+def test_ps_roundtrip_grows_with_p():
+    ts = [ps_roundtrip_seconds(1e6, p, LINK) for p in (1, 2, 4, 8)]
+    assert ts == sorted(ts)
+    assert ts[-1] > ts[0]
+
+
+def test_ps_roundtrip_invalid_p():
+    with pytest.raises(ValueError):
+        ps_roundtrip_seconds(1e6, 0, LINK)
+
+
+def test_ps_epoch_amortised_by_interval():
+    kwargs = dict(m_bytes=1e6, p=4, steps_per_learner=100, host_link=LINK)
+    t1 = ps_epoch_seconds(interval=1, **kwargs)
+    t50 = ps_epoch_seconds(interval=50, **kwargs)
+    assert t1 == pytest.approx(50 * t50)
+
+
+def test_ps_epoch_invalid_interval():
+    with pytest.raises(ValueError):
+        ps_epoch_seconds(1e6, 4, 100, 0, LINK)
+
+
+def test_sasgd_epoch_comm_amortised_by_T():
+    kwargs = dict(m_bytes=1e6, p=8, steps_per_learner=100, link=LINK)
+    t1 = sasgd_epoch_comm_seconds(interval=1, **kwargs)
+    t50 = sasgd_epoch_comm_seconds(interval=50, **kwargs)
+    assert t1 == pytest.approx(50 * t50)
+
+
+def test_sasgd_epoch_comm_invalid_interval():
+    with pytest.raises(ValueError):
+        sasgd_epoch_comm_seconds(1e6, 8, 100, 0, LINK)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.floats(min_value=1e3, max_value=1e8),
+    p=st.integers(min_value=2, max_value=64),
+    steps=st.integers(min_value=50, max_value=1000),
+)
+def test_sasgd_comm_monotone_decreasing_in_T(m, p, steps):
+    times = [
+        sasgd_epoch_comm_seconds(m, p, steps, T, LINK) for T in (1, 2, 5, 10, 25, 50)
+    ]
+    assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))

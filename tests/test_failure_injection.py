@@ -1,0 +1,74 @@
+"""Failure-injection tests: the fault-tolerance trade-off.
+
+The paper concedes that the parameter server provides "some degree of fault
+tolerance" that bulk-synchronous aggregation lacks.  These tests inject
+learner deaths and verify both sides of that trade-off behave as designed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algos import (
+    DownpourOptions,
+    DownpourTrainer,
+    SASGDOptions,
+    SASGDTrainer,
+    TrainerConfig,
+    cifar_problem,
+)
+
+
+@pytest.fixture(scope="module")
+def prob():
+    return cifar_problem(scale="unit", seed=1)
+
+
+def cfg(p=4, epochs=2):
+    return TrainerConfig(p=p, epochs=epochs, batch_size=8, lr=0.02, seed=3)
+
+
+def test_downpour_survives_learner_death(prob):
+    """The remaining learners keep training through the server."""
+    res = DownpourTrainer(prob, cfg(), DownpourOptions(T=2, fail_at={1: 2})).train()
+    # training completed and updates continued to land after the failure
+    assert res.extras["pushes_applied"] > 4
+    assert np.isfinite(res.records[-1].train_loss) if res.records else True
+
+
+def test_downpour_survives_multiple_deaths(prob):
+    res = DownpourTrainer(
+        prob, cfg(p=4), DownpourOptions(T=1, fail_at={1: 1, 3: 2})
+    ).train()
+    assert res.extras["pushes_applied"] > 0
+
+
+def test_downpour_all_but_one_dead_still_progresses(prob):
+    res = DownpourTrainer(
+        prob, cfg(p=4), DownpourOptions(T=1, fail_at={0: 1, 1: 1, 2: 1})
+    ).train()
+    # learner 3 alone still pushed its full schedule
+    assert res.extras["pushes_applied"] >= 2
+
+
+def test_sasgd_stalls_on_learner_death(prob):
+    """Bulk synchrony: the next allreduce never completes."""
+    trainer = SASGDTrainer(prob, cfg(), SASGDOptions(T=2, fail_at={1: 2}))
+    with pytest.raises(RuntimeError, match="deadlocked"):
+        trainer.train()
+
+
+def test_sasgd_death_after_last_interval_is_harmless(prob):
+    """A learner that 'fails' after its full schedule changes nothing."""
+    many = 10**9
+    res = SASGDTrainer(prob, cfg(), SASGDOptions(T=2, fail_at={1: many})).train()
+    assert len(res.records) >= 1
+
+
+def test_downpour_failed_learner_stops_pushing(prob):
+    tr = DownpourTrainer(prob, cfg(p=2), DownpourOptions(T=1, fail_at={1: 1}))
+    tr.train()
+    # the dead learner pushed at most its pre-failure rounds
+    alive_pushes = len(tr.clients[0].staleness_samples)
+    dead_pushes = len(tr.clients[1].staleness_samples)
+    assert dead_pushes <= 1
+    assert alive_pushes > dead_pushes

@@ -1,0 +1,129 @@
+"""Tests for AvgPool2d / GlobalAvgPool2d and the reduce-scatter collective."""
+
+import numpy as np
+import pytest
+
+from repro.comm import reduce_scatter_ring
+from repro.nn import AvgPool2d, GlobalAvgPool2d
+from repro.nn.gradcheck import gradcheck_module
+
+RNG = np.random.default_rng(77)
+
+
+def check(module, x):
+    pe, ie = gradcheck_module(module, x, rng=np.random.default_rng(5))
+    assert pe < 1e-6 and ie < 1e-6, (pe, ie)
+
+
+# -- AvgPool2d ---------------------------------------------------------------
+
+
+def test_avgpool_gradcheck():
+    check(AvgPool2d(2), RNG.standard_normal((2, 3, 6, 6)))
+
+
+def test_avgpool_rect_gradcheck():
+    check(AvgPool2d((2, 3)), RNG.standard_normal((1, 2, 4, 6)))
+
+
+def test_avgpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = AvgPool2d(2).forward(x)
+    np.testing.assert_allclose(out[0, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+
+def test_avgpool_floor_semantics():
+    pool = AvgPool2d(2)
+    assert pool.output_shape((8, 5, 5)) == (8, 2, 2)
+
+
+def test_avgpool_backward_spreads_uniformly():
+    pool = AvgPool2d(2)
+    x = RNG.standard_normal((1, 1, 4, 4))
+    pool.forward(x)
+    gx = pool.backward(np.ones((1, 1, 2, 2)))
+    np.testing.assert_allclose(gx, 0.25)
+
+
+def test_avgpool_validation():
+    with pytest.raises(ValueError):
+        AvgPool2d(0)
+    with pytest.raises(ValueError):
+        AvgPool2d(4).forward(np.zeros((1, 1, 2, 2)))
+    with pytest.raises(RuntimeError):
+        AvgPool2d(2).backward(np.zeros((1, 1, 1, 1)))
+
+
+def test_global_avgpool_gradcheck():
+    check(GlobalAvgPool2d(), RNG.standard_normal((2, 3, 4, 5)))
+
+
+def test_global_avgpool_values_and_shape():
+    x = np.ones((2, 3, 4, 4))
+    mod = GlobalAvgPool2d()
+    out = mod.forward(x)
+    np.testing.assert_allclose(out, 1.0)
+    assert out.shape == (2, 3)
+    assert mod.output_shape((3, 4, 4)) == (3,)
+
+
+# -- reduce_scatter_ring -------------------------------------------------------
+
+
+def run_rsc(p, arrays, nbytes=0.0):
+    from repro.cluster import build_binary_tree_topology
+    from repro.comm import Fabric
+    from repro.sim import Engine
+
+    eng = Engine()
+    n_leaves = 1
+    while n_leaves < p:
+        n_leaves *= 2
+    topo = build_binary_tree_topology(min(8, n_leaves))
+    fab = Fabric(eng, topo, contention=False)
+    names = [f"r{i}" for i in range(p)]
+    eps = [fab.attach(names[i], f"gpu{i % min(8, n_leaves)}") for i in range(p)]
+    results = {}
+
+    def worker(rank):
+        out = yield from reduce_scatter_ring(
+            eps[rank], names, rank, arrays[rank], nbytes=nbytes, ctx="rs"
+        )
+        results[rank] = out
+
+    for i in range(p):
+        eng.spawn(worker(i))
+    eng.run()
+    return results, fab
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+def test_reduce_scatter_chunks_sum_correctly(p):
+    rng = np.random.default_rng(p)
+    arrays = [rng.standard_normal(23) for _ in range(p)]
+    expected = np.sum(arrays, axis=0)
+    chunks_expected = np.array_split(expected, p)
+    results, _ = run_rsc(p, arrays)
+    seen = set()
+    for rank in range(p):
+        idx, chunk = results[rank]
+        seen.add(idx)
+        np.testing.assert_allclose(chunk, chunks_expected[idx], rtol=1e-10)
+    assert seen == set(range(p))  # every chunk owned exactly once
+
+
+def test_reduce_scatter_timing_only_mode():
+    results, fab = run_rsc(4, [None] * 4, nbytes=400.0)
+    for rank in range(4):
+        idx, chunk = results[rank]
+        assert chunk is None
+    # each rank sends (p-1) chunks of m/p bytes
+    assert fab.total_bytes == pytest.approx(4 * 3 * 100.0)
+
+
+def test_reduce_scatter_inputs_not_mutated():
+    arrays = [np.full(8, float(r)) for r in range(4)]
+    snap = [a.copy() for a in arrays]
+    run_rsc(4, arrays)
+    for a, s in zip(arrays, snap):
+        np.testing.assert_array_equal(a, s)

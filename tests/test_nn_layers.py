@@ -1,0 +1,299 @@
+"""Gradient checks and behavioural tests for every layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Linear,
+    MaxOverTime,
+    MaxPool2d,
+    ReLU,
+    Tanh,
+    TemporalConvolution,
+    TemporalMaxPooling,
+)
+from repro.nn.gradcheck import gradcheck_module
+
+RNG = np.random.default_rng(1234)
+TOL = 1e-6
+
+
+def check(module, x, **kwargs):
+    pe, ie = gradcheck_module(module, x, rng=np.random.default_rng(99), **kwargs)
+    assert pe < TOL, f"param grad err {pe}"
+    assert ie < TOL, f"input grad err {ie}"
+
+
+# -- Linear --------------------------------------------------------------------
+
+
+def test_linear_gradcheck_2d():
+    check(Linear(6, 4, dtype=np.float64, rng=RNG), RNG.standard_normal((3, 6)))
+
+
+def test_linear_gradcheck_3d_per_token():
+    check(Linear(5, 3, dtype=np.float64, rng=RNG), RNG.standard_normal((2, 4, 5)))
+
+
+def test_linear_gradcheck_no_bias():
+    check(Linear(4, 4, bias=False, dtype=np.float64, rng=RNG), RNG.standard_normal((2, 4)))
+
+
+def test_linear_forward_matches_matmul():
+    lin = Linear(3, 2, dtype=np.float64, rng=np.random.default_rng(0))
+    x = np.array([[1.0, 2.0, 3.0]])
+    expected = x @ lin.weight.data.T + lin.bias.data
+    np.testing.assert_allclose(lin.forward(x), expected)
+
+
+def test_linear_shape_validation():
+    lin = Linear(3, 2)
+    with pytest.raises(ValueError):
+        lin.forward(np.zeros((2, 4), dtype=np.float32))
+    with pytest.raises(ValueError):
+        lin.output_shape((4,))
+    with pytest.raises(ValueError):
+        Linear(0, 2)
+
+
+def test_linear_backward_before_forward_raises():
+    lin = Linear(3, 2)
+    with pytest.raises(RuntimeError):
+        lin.backward(np.zeros((1, 2), dtype=np.float32))
+
+
+def test_linear_grad_accumulates():
+    lin = Linear(3, 2, dtype=np.float64, rng=RNG)
+    x = RNG.standard_normal((2, 3))
+    go = RNG.standard_normal((2, 2))
+    lin.forward(x)
+    lin.backward(go)
+    g1 = lin.weight.grad.copy()
+    lin.forward(x)
+    lin.backward(go)
+    np.testing.assert_allclose(lin.weight.grad, 2 * g1)
+
+
+def test_linear_flops():
+    lin = Linear(10, 20)
+    assert lin.flops_per_example((10,)) == 2 * 10 * 20
+    assert lin.flops_per_example((5, 10)) == 5 * 2 * 10 * 20
+
+
+# -- Conv2d ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 0), (2, 1)])
+def test_conv_gradcheck(stride, pad):
+    conv = Conv2d(2, 3, 3, stride=stride, padding=pad, dtype=np.float64, rng=RNG)
+    check(conv, RNG.standard_normal((2, 2, 6, 6)))
+
+
+def test_conv_rect_kernel_gradcheck():
+    conv = Conv2d(1, 2, (2, 3), dtype=np.float64, rng=RNG)
+    check(conv, RNG.standard_normal((1, 1, 5, 5)))
+
+
+def test_conv_no_bias_gradcheck():
+    conv = Conv2d(1, 2, 3, bias=False, dtype=np.float64, rng=RNG)
+    check(conv, RNG.standard_normal((1, 1, 5, 5)))
+
+
+def test_conv_identity_kernel():
+    conv = Conv2d(1, 1, 1, dtype=np.float64, rng=RNG)
+    conv.weight.data[...] = 1.0
+    conv.bias.data[...] = 0.0
+    x = RNG.standard_normal((1, 1, 4, 4))
+    np.testing.assert_allclose(conv.forward(x), x)
+
+
+def test_conv_output_shape_and_validation():
+    conv = Conv2d(3, 8, 5, padding=2)
+    assert conv.output_shape((3, 32, 32)) == (8, 32, 32)
+    with pytest.raises(ValueError):
+        conv.output_shape((4, 32, 32))
+    with pytest.raises(ValueError):
+        conv.forward(np.zeros((1, 4, 8, 8), dtype=np.float32))
+    with pytest.raises(ValueError):
+        Conv2d(1, 1, 3, stride=0)
+    with pytest.raises(ValueError):
+        Conv2d(1, 1, 3, padding=-1)
+
+
+def test_conv_flops_positive_and_scaling():
+    conv = Conv2d(3, 8, 3, padding=1)
+    f1 = conv.flops_per_example((3, 8, 8))
+    f2 = conv.flops_per_example((3, 16, 16))
+    assert f2 == pytest.approx(4 * f1)
+
+
+# -- MaxPool2d --------------------------------------------------------------------
+
+
+def test_maxpool_gradcheck():
+    check(MaxPool2d(2), RNG.standard_normal((2, 2, 6, 6)))
+
+
+def test_maxpool_rect_gradcheck():
+    check(MaxPool2d((2, 3)), RNG.standard_normal((1, 2, 4, 6)))
+
+
+def test_maxpool_forward_values():
+    x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+    out = MaxPool2d(2).forward(x)
+    np.testing.assert_array_equal(out[0, 0], [[5, 7], [13, 15]])
+
+
+def test_maxpool_floor_semantics():
+    pool = MaxPool2d(2)
+    assert pool.output_shape((8, 5, 5)) == (8, 2, 2)
+    x = np.arange(25, dtype=np.float64).reshape(1, 1, 5, 5)
+    assert pool.forward(x).shape == (1, 1, 2, 2)
+
+
+def test_maxpool_backward_routes_to_argmax():
+    x = np.array([[[[1.0, 9.0], [2.0, 3.0]]]])
+    pool = MaxPool2d(2)
+    pool.forward(x)
+    gx = pool.backward(np.array([[[[5.0]]]]))
+    np.testing.assert_array_equal(gx, [[[[0.0, 5.0], [0.0, 0.0]]]])
+
+
+def test_maxpool_too_small_input():
+    with pytest.raises(ValueError):
+        MaxPool2d(4).forward(np.zeros((1, 1, 2, 2)))
+
+
+# -- activations -----------------------------------------------------------------
+
+
+def test_relu_gradcheck():
+    # offset keeps inputs away from the kink
+    check(ReLU(), RNG.standard_normal((3, 5)) + np.sign(RNG.standard_normal((3, 5))) * 0.5)
+
+
+def test_relu_forward():
+    out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+    np.testing.assert_array_equal(out, [0.0, 0.0, 2.0])
+
+
+def test_tanh_gradcheck():
+    check(Tanh(), RNG.standard_normal((3, 5)))
+
+
+def test_tanh_bounded():
+    out = Tanh().forward(np.array([-100.0, 100.0]))
+    np.testing.assert_allclose(out, [-1.0, 1.0])
+
+
+def test_flatten_roundtrip():
+    f = Flatten()
+    x = RNG.standard_normal((2, 3, 4))
+    y = f.forward(x)
+    assert y.shape == (2, 12)
+    gx = f.backward(np.ones_like(y))
+    assert gx.shape == x.shape
+    assert f.output_shape((3, 4)) == (12,)
+
+
+# -- Dropout ----------------------------------------------------------------------
+
+
+def test_dropout_eval_is_identity():
+    d = Dropout(0.5)
+    d.training = False
+    x = RNG.standard_normal((4, 4))
+    np.testing.assert_array_equal(d.forward(x), x)
+
+
+def test_dropout_p0_is_identity_in_train():
+    d = Dropout(0.0)
+    x = RNG.standard_normal((4, 4))
+    np.testing.assert_array_equal(d.forward(x), x)
+
+
+def test_dropout_inverted_scaling_preserves_mean():
+    d = Dropout(0.5, rng=np.random.default_rng(0))
+    x = np.ones((200, 200))
+    out = d.forward(x)
+    assert out.mean() == pytest.approx(1.0, rel=0.05)
+    assert set(np.round(np.unique(out), 6)) <= {0.0, 2.0}
+
+
+def test_dropout_backward_uses_same_mask():
+    d = Dropout(0.5, rng=np.random.default_rng(0))
+    x = np.ones((10, 10))
+    out = d.forward(x)
+    gx = d.backward(np.ones_like(x))
+    np.testing.assert_array_equal(gx, out)
+
+
+def test_dropout_p_validation():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+# -- temporal layers ----------------------------------------------------------------
+
+
+def test_temporal_conv_gradcheck():
+    check(TemporalConvolution(3, 4, 2, dtype=np.float64, rng=RNG), RNG.standard_normal((2, 6, 3)))
+
+
+def test_temporal_conv_kw1_is_per_frame_linear():
+    tc = TemporalConvolution(3, 2, 1, dtype=np.float64, rng=np.random.default_rng(0))
+    x = RNG.standard_normal((1, 5, 3))
+    out = tc.forward(x)
+    expected = x @ tc.weight.data.T + tc.bias.data
+    np.testing.assert_allclose(out, expected)
+
+
+def test_temporal_conv_shapes():
+    tc = TemporalConvolution(100, 1000, 2)
+    assert tc.output_shape((20, 100)) == (19, 1000)
+    with pytest.raises(ValueError):
+        tc.output_shape((1, 100))
+    with pytest.raises(ValueError):
+        tc.forward(np.zeros((1, 5, 99), dtype=np.float32))
+
+
+def test_temporal_maxpool_gradcheck():
+    check(TemporalMaxPooling(2), RNG.standard_normal((2, 6, 3)))
+
+
+def test_temporal_maxpool_shapes_floor():
+    pool = TemporalMaxPooling(2)
+    assert pool.output_shape((5, 7)) == (2, 7)
+    with pytest.raises(ValueError):
+        pool.output_shape((1, 7))
+
+
+def test_temporal_maxpool_values():
+    x = np.array([[[1.0], [5.0], [2.0], [3.0]]])
+    out = TemporalMaxPooling(2).forward(x)
+    np.testing.assert_array_equal(out, [[[5.0], [3.0]]])
+
+
+def test_maxovertime_gradcheck():
+    check(MaxOverTime(), RNG.standard_normal((2, 6, 3)))
+
+
+def test_maxovertime_values_and_shape():
+    x = np.array([[[1.0, -2.0], [3.0, -1.0], [0.0, -5.0]]])
+    mot = MaxOverTime()
+    out = mot.forward(x)
+    np.testing.assert_array_equal(out, [[3.0, -1.0]])
+    assert mot.output_shape((6, 2)) == (2,)
+
+
+def test_maxovertime_backward_scatters_to_argmax():
+    x = np.array([[[1.0], [3.0], [2.0]]])
+    mot = MaxOverTime()
+    mot.forward(x)
+    gx = mot.backward(np.array([[7.0]]))
+    np.testing.assert_array_equal(gx, [[[0.0], [7.0], [0.0]]])

@@ -1,0 +1,128 @@
+"""Tests for result/parameter persistence and the CLI."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ExperimentResult,
+    load_params,
+    load_result,
+    result_from_dict,
+    result_to_dict,
+    save_params,
+    save_result,
+)
+from repro.nn import Linear, Sequential, flatten_module
+
+
+def sample_result():
+    return ExperimentResult(
+        exp_id="figX",
+        title="Some figure",
+        paper_claim="a claim",
+        rows=[{"p": 2, "acc": 0.5, "shape": (3, 4)}],
+        series={"p=2": [(1.0, 0.1), (2.0, 0.4)]},
+        notes="note",
+    )
+
+
+def test_result_dict_roundtrip():
+    r = sample_result()
+    back = result_from_dict(result_to_dict(r))
+    assert back.exp_id == r.exp_id
+    assert back.series == r.series
+    assert back.rows[0]["p"] == 2
+    assert back.rows[0]["shape"] == (3, 4)  # tuples survive
+
+
+def test_result_file_roundtrip(tmp_path):
+    path = tmp_path / "r.json"
+    save_result(sample_result(), path)
+    data = json.loads(path.read_text())
+    assert data["exp_id"] == "figX"
+    back = load_result(path)
+    assert back.paper_claim == "a claim"
+    assert back.series["p=2"] == [(1.0, 0.1), (2.0, 0.4)]
+
+
+def test_params_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    net = Sequential(Linear(4, 3, dtype=np.float32, rng=rng))
+    flat = flatten_module(net)
+    snap = flat.copy_data()
+    path = tmp_path / "params.npz"
+    save_params(flat, path, algorithm="sasgd", epoch=7)
+    flat.data[...] = 0.0
+    meta = load_params(flat, path)
+    np.testing.assert_array_equal(flat.data, snap)
+    assert meta == {"algorithm": "sasgd", "epoch": "7"}
+
+
+def test_params_size_mismatch_rejected(tmp_path):
+    rng = np.random.default_rng(0)
+    small = flatten_module(Sequential(Linear(2, 2, dtype=np.float32, rng=rng)))
+    big = flatten_module(Sequential(Linear(4, 4, dtype=np.float32, rng=rng)))
+    path = tmp_path / "p.npz"
+    save_params(small, path)
+    with pytest.raises(ValueError, match="mismatch"):
+        load_params(big, path)
+
+
+def test_params_dtype_mismatch_rejected(tmp_path):
+    rng = np.random.default_rng(0)
+    f32 = flatten_module(Sequential(Linear(3, 3, dtype=np.float32, rng=rng)))
+    f64 = flatten_module(Sequential(Linear(3, 3, dtype=np.float64, rng=rng)))
+    path = tmp_path / "p.npz"
+    save_params(f32, path)
+    with pytest.raises(ValueError, match="dtype"):
+        load_params(f64, path)
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    from repro.__main__ import main
+
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig7" in out and "table1" in out
+
+
+def test_cli_run_with_overrides(capsys, tmp_path):
+    from repro.__main__ import main
+
+    out_path = tmp_path / "t.json"
+    code = main(
+        [
+            "run",
+            "theorem1",
+            "--set",
+            "alpha_values=(16.0,)",
+            "--set",
+            "p_values=(32,)",
+            "--save",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "theorem1" in printed
+    saved = load_result(out_path)
+    assert saved.rows[0]["p"] == 32
+
+
+def test_cli_unknown_experiment():
+    from repro.__main__ import main
+
+    with pytest.raises(ValueError):
+        main(["run", "fig99"])
+
+
+def test_cli_claims(capsys):
+    from repro.__main__ import main
+
+    assert main(["claims"]) == 0
+    assert "fig1" in capsys.readouterr().out
