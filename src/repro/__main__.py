@@ -5,18 +5,31 @@ Commands
 list
     Print the experiment registry (one id per paper table/figure).
 run EXP_ID [--set key=value ...] [--save out.json]
+        [--trace t.json] [--metrics m.json] [--manifest mf.json] [--profile]
     Regenerate one experiment and print its report.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
+    ``--trace`` writes a Chrome trace-event file (chrome://tracing /
+    Perfetto) with one track per learner/server; ``--metrics`` writes the
+    observability registry (counters/gauges/histograms) as JSON;
+    ``--profile`` prints a flame-style phase table.  A run manifest
+    (config, seed, git rev, wall+virtual duration) is written next to every
+    ``--save`` result, or wherever ``--manifest`` points.
 claims
     Print every experiment's paper claim — the checklist EXPERIMENTS.md
     verifies.
+inspect FILE
+    Summarise a file written by ``run``: experiment result, metrics export,
+    Chrome trace, or run manifest (auto-detected).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import sys
+import time
+from pathlib import Path
 
 from .harness import format_result, list_experiments, run_experiment
 from .harness.experiments import EXPERIMENTS
@@ -27,6 +40,143 @@ def _parse_value(text: str):
         return ast.literal_eval(text)
     except (ValueError, SyntaxError):
         return text
+
+
+def _cmd_run(args, parser) -> int:
+    from . import obs
+
+    kwargs = {}
+    for item in args.overrides:
+        if "=" not in item:
+            parser.error(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        kwargs[key.strip()] = _parse_value(value.strip())
+
+    want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
+    session = obs.ObsSession(trace=bool(args.trace or args.profile))
+    t0 = time.perf_counter()
+    if want_obs:
+        with obs.observe(session):
+            result = run_experiment(args.exp_id, **kwargs)
+    else:
+        result = run_experiment(args.exp_id, **kwargs)
+    wall = time.perf_counter() - t0
+
+    print(format_result(result))
+    if args.save:
+        from .harness.serialization import save_result
+
+        save_result(result, args.save)
+        print(f"saved to {args.save}")
+    if args.metrics:
+        session.registry.save(args.metrics)
+        print(f"metrics saved to {args.metrics}")
+    if args.trace:
+        session.build_exporter().save(args.trace)
+        print(f"trace saved to {args.trace} (load in chrome://tracing or Perfetto)")
+    manifest_path = args.manifest
+    if manifest_path is None and args.save:
+        manifest_path = obs.manifest_path_for(args.save)
+    if manifest_path is not None:
+        manifest = obs.RunManifest.collect(
+            exp_id=args.exp_id,
+            config=kwargs,
+            wall_seconds=wall,
+            virtual_seconds=session.virtual_seconds,
+        )
+        manifest.write(manifest_path)
+        print(f"manifest saved to {manifest_path}")
+    if args.profile:
+        prof = obs.Profiler()
+        for run in session.trace_runs:
+            prof.ingest_spans(run.spans)
+        print()
+        print(prof.format_flame())
+    return 0
+
+
+def _cmd_inspect(path: str) -> int:
+    from . import obs
+
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    if not isinstance(data, dict):
+        print(f"{path}: not a repro JSON document", file=sys.stderr)
+        return 1
+
+    if "traceEvents" in data:
+        runs = obs.TraceExporter.parse(data)
+        print(f"{path}: chrome trace, {len(runs)} run(s)")
+        for label, run in runs.items():
+            print(f"\n== {label} (virtual {run.duration:.3f}s) ==")
+            actors = []
+            for span in run.spans:
+                if span.actor not in actors:
+                    actors.append(span.actor)
+            for actor in actors:
+                cats = obs.busy_seconds(run.spans, actor)
+                busy = sum(cats.values())
+                idle = max(0.0, run.duration - busy)
+                detail = ", ".join(
+                    f"{cat}={sec:.3f}s" for cat, sec in sorted(cats.items())
+                )
+                print(f"  {actor:<12} busy={busy:.3f}s idle={idle:.3f}s  ({detail})")
+            if run.messages:
+                nbytes = sum(m.nbytes for m in run.messages)
+                print(f"  messages: {len(run.messages)} ({nbytes / 2**20:.2f} MiB)")
+        return 0
+
+    if {"counters", "gauges", "histograms"} <= set(data):
+        print(f"{path}: metrics export")
+        if data["counters"]:
+            print("counters:")
+            for key, value in sorted(data["counters"].items()):
+                print(f"  {key} = {value:g}")
+        if data["gauges"]:
+            print("gauges:")
+            for key, value in sorted(data["gauges"].items()):
+                shown = "none" if value is None else f"{value:g}"
+                print(f"  {key} = {shown}")
+        if data["histograms"]:
+            print("histograms:")
+            for key, summary in sorted(data["histograms"].items()):
+                if not summary.get("count"):
+                    print(f"  {key}: (empty)")
+                    continue
+                print(
+                    f"  {key}: n={summary['count']} mean={summary['mean']:.4g} "
+                    f"p50={summary['p50']:.4g} p99={summary['p99']:.4g} "
+                    f"max={summary['max']:.4g}"
+                )
+        return 0
+
+    if "exp_id" in data and "created" in data:
+        manifest = obs.RunManifest.from_dict(data)
+        print(f"{path}: run manifest")
+        print(f"  experiment: {manifest.exp_id}")
+        print(f"  created:    {manifest.created}")
+        print(f"  git rev:    {manifest.git_rev or '(unknown)'}")
+        print(f"  python:     {manifest.python}  ({manifest.platform})")
+        print(f"  wall:       {manifest.wall_seconds:.3f}s")
+        print(f"  virtual:    {manifest.virtual_seconds:.3f}s")
+        if manifest.config:
+            print(f"  config:     {manifest.config}")
+        if manifest.seed is not None:
+            print(f"  seed:       {manifest.seed}")
+        return 0
+
+    if "exp_id" in data and ("rows" in data or "series" in data):
+        from .harness.serialization import result_from_dict
+
+        print(f"{path}: experiment result")
+        print(format_result(result_from_dict(data)))
+        return 0
+
+    print(f"{path}: unrecognised document (keys: {sorted(data)[:8]})", file=sys.stderr)
+    return 1
 
 
 def main(argv=None) -> int:
@@ -47,6 +197,25 @@ def main(argv=None) -> int:
         help="experiment kwargs, e.g. --set p_values=(1,8) --set epochs=12",
     )
     run_p.add_argument("--save", default=None, help="write the result as JSON")
+    run_p.add_argument(
+        "--trace", default=None, help="write a Chrome trace-event JSON timeline"
+    )
+    run_p.add_argument(
+        "--metrics", default=None, help="write the metrics registry as JSON"
+    )
+    run_p.add_argument(
+        "--manifest",
+        default=None,
+        help="write the run manifest here (default: next to --save)",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a flame-style table of per-phase virtual time",
+    )
+
+    ins_p = sub.add_parser("inspect", help="summarise a result/metrics/trace/manifest file")
+    ins_p.add_argument("path")
 
     args = parser.parse_args(argv)
 
@@ -57,7 +226,6 @@ def main(argv=None) -> int:
 
     if args.command == "claims":
         for exp_id in list_experiments():
-            result = None
             fn = EXPERIMENTS[exp_id]
             # claims are attached by the registry decorator at run time; for a
             # cheap listing, run only the zero-cost experiments and read the
@@ -68,20 +236,10 @@ def main(argv=None) -> int:
                 print(f"  {doc[0]}")
         return 0
 
-    kwargs = {}
-    for item in args.overrides:
-        if "=" not in item:
-            parser.error(f"--set expects key=value, got {item!r}")
-        key, _, value = item.partition("=")
-        kwargs[key.strip()] = _parse_value(value.strip())
-    result = run_experiment(args.exp_id, **kwargs)
-    print(format_result(result))
-    if args.save:
-        from .harness.serialization import save_result
+    if args.command == "inspect":
+        return _cmd_inspect(args.path)
 
-        save_result(result, args.save)
-        print(f"saved to {args.save}")
-    return 0
+    return _cmd_run(args, parser)
 
 
 if __name__ == "__main__":

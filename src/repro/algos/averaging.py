@@ -21,6 +21,7 @@ from typing import List
 
 import numpy as np
 
+from ..obs.runtime import TrainerObs
 from .base import (
     LearnerWorkload,
     MetricsTape,
@@ -60,12 +61,15 @@ class OneShotAveragingTrainer:
 
     def train(self) -> TrainResult:
         cfg = self.config
+        obs = TrainerObs.maybe(self.algorithm, cfg.p, self.problem.name)
         t0 = time.perf_counter()
         steps_each = max(1, (cfg.epochs * self.problem.n_train) // (cfg.p * cfg.batch_size))
         for wl in self.workloads:
             for _ in range(steps_each):
                 idx = wl.next_batch()
                 wl.compute_gradient(idx)
+                if obs is not None:
+                    obs.on_batch(len(idx), wl.flat.grad)
                 wl.flat.data -= cfg.lr * wl.flat.grad
         avg = np.mean([wl.flat.data for wl in self.workloads], axis=0)
         self.workloads[0].flat.set_data(avg)
@@ -86,12 +90,15 @@ class OneShotAveragingTrainer:
             test_acc=test_acc,
             test_loss=test_loss,
         )
+        wall = time.perf_counter() - t0
+        if obs is not None:
+            obs.finish(rec.samples, 0.0, wall)
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,
             config=cfg,
             records=[rec],
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=wall,
             extras={"steps_per_learner": steps_each},
         )
 
@@ -116,6 +123,7 @@ class MinibatchAveragingTrainer:
 
     def train(self) -> TrainResult:
         cfg = self.config
+        obs = TrainerObs.maybe(self.algorithm, cfg.p, self.problem.name)
         t0 = time.perf_counter()
         tape = MetricsTape(self.problem, cfg, clock=lambda: 0.0)
         while not tape.done:
@@ -123,6 +131,8 @@ class MinibatchAveragingTrainer:
             for wl in self.workloads:
                 idx = wl.next_batch()
                 loss, acc, nb = wl.compute_gradient(idx)
+                if obs is not None:
+                    obs.on_batch(nb, wl.flat.grad)
                 wl.flat.data -= cfg.lr * wl.flat.grad
                 crossed += tape.on_batch(nb, loss, acc)
             avg = np.mean([wl.flat.data for wl in self.workloads], axis=0)
@@ -130,10 +140,13 @@ class MinibatchAveragingTrainer:
                 wl.flat.set_data(avg)
             if crossed:
                 tape.record_epochs(crossed, self.workloads[0].model)
+        wall = time.perf_counter() - t0
+        if obs is not None:
+            obs.finish(tape.samples, 0.0, wall)
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,
             config=cfg,
             records=tape.records,
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=wall,
         )

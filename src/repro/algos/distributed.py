@@ -22,6 +22,7 @@ import numpy as np
 
 from ..cluster.machine import Machine, power8_oss_spec
 from ..comm.fabric import Endpoint, Fabric
+from ..obs.runtime import TrainerObs, active as _obs_active
 from ..sim import Delay
 from .base import (
     LearnerWorkload,
@@ -84,6 +85,7 @@ class DistributedTrainer:
             wl.sampler.drop_last = len(problem.train_set) >= config.batch_size
         self.tape = MetricsTape(problem, config, clock=lambda: self.machine.engine.now)
         self._pending_crossings = 0
+        self._obs: Optional[TrainerObs] = None  # installed by train()
 
     # -- helpers for subclasses ---------------------------------------------
 
@@ -113,6 +115,8 @@ class DistributedTrainer:
         yield Delay(dur)
         self.machine.tracer.end(name, "compute")
         loss, acc, nb = wl.compute_gradient(idx)
+        if self._obs is not None:
+            self._obs.on_batch(nb, wl.flat.grad)
         return self.tape.on_batch(nb, loss, acc)
 
     def record_now(self, crossed: int) -> None:
@@ -137,6 +141,9 @@ class DistributedTrainer:
 
     def train(self) -> TrainResult:
         t0 = time.perf_counter()
+        self._obs = TrainerObs.maybe(
+            self.algorithm, self.config.p, self.problem.name
+        )
         procs = [
             self.machine.engine.spawn(self._learner_proc(lid), name=self.learner_names[lid])
             for lid in range(self.config.p)
@@ -157,12 +164,34 @@ class DistributedTrainer:
             "comm_fraction": mean_bd.comm_fraction,
         }
         extras.update(self._extra_results())
+        wall = time.perf_counter() - t0
+        sess = _obs_active()
+        if sess is not None:
+            labels = dict(
+                algo=self.algorithm, p=self.config.p, problem=self.problem.name
+            )
+            self.fabric.publish_metrics(sess.registry, **labels)
+            stats = self.machine.engine.stats()
+            sess.registry.counter("engine.events_total", **labels).inc(
+                stats["events_processed"]
+            )
+            sess.registry.gauge("engine.max_heap_depth", **labels).set(
+                stats["max_heap_depth"]
+            )
+            if self._obs is not None:
+                self._obs.finish(self.tape.samples, self.machine.engine.now, wall)
+            sess.add_run(
+                f"{self.algorithm} {self.problem.name} p={self.config.p}",
+                tracer.spans,
+                self.fabric.message_log,
+                self.machine.engine.now,
+            )
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,
             config=self.config,
             records=self.tape.records,
             virtual_seconds=self.machine.engine.now,
-            wall_seconds=time.perf_counter() - t0,
+            wall_seconds=wall,
             extras=extras,
         )

@@ -106,6 +106,10 @@ class DownpourTrainer(DistributedTrainer):
         staleness = np.concatenate(
             [np.asarray(c.staleness_samples, dtype=float) for c in self.clients]
         ) if any(c.staleness_samples for c in self.clients) else np.zeros(1)
+        if self._obs is not None:
+            for client in self.clients:
+                for s in client.staleness_samples:
+                    self._obs.staleness.observe(float(s))
         return {
             "T": self.options.T,
             "n_shards": self.server.layout.n_shards,

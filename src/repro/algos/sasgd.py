@@ -182,4 +182,13 @@ class SASGDTrainer(DistributedTrainer):
         if self.options.compression is not None:
             extras["compression"] = self.compressors[0].name
             extras["compressed_bytes_saved"] = self.compressed_bytes_saved
+        if self._obs is not None:
+            reg = self._obs.session.registry
+            reg.counter("sasgd.allreduce_total", **self._obs.labels).inc(
+                self.allreduce_count
+            )
+            if self.options.compression is not None:
+                reg.counter("sasgd.compressed_bytes_saved", **self._obs.labels).inc(
+                    self.compressed_bytes_saved
+                )
         return extras

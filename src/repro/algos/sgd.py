@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..cluster.devices import Device, DeviceSpec
+from ..obs.runtime import TrainerObs
 from .base import (
     LearnerWorkload,
     MetricsTape,
@@ -56,15 +57,20 @@ class SequentialSGDTrainer:
         wl = self.workload
         vclock = [0.0]
         tape = MetricsTape(self.problem, cfg, clock=lambda: vclock[0])
+        obs = TrainerObs.maybe(self.algorithm, 1, self.problem.name)
         t0 = time.perf_counter()
         while not tape.done:
             idx = wl.next_batch()
             vclock[0] += self.device.compute_seconds(wl.batch_flops(len(idx)))
             loss, acc, nb = wl.compute_gradient(idx)
+            if obs is not None:
+                obs.on_batch(nb, wl.flat.grad)
             wl.flat.data -= cfg.lr * wl.flat.grad
             crossed = tape.on_batch(nb, loss, acc)
             if crossed:
                 tape.record_epochs(crossed, wl.model)
+        if obs is not None:
+            obs.finish(tape.samples, vclock[0], time.perf_counter() - t0)
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,

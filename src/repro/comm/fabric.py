@@ -26,17 +26,23 @@ Semantics
   what makes p learners' parameter-server round-trips serialise on the host
   channel while allreduce traffic spreads over the GPU tree.
 
-Accounting: the fabric counts bytes per link and in total, which the tests
-use to verify the paper's O(m log p) (allreduce) vs O(m p) (parameter server)
-traffic claims directly.
+Accounting: the fabric counts bytes *and* messages per link and in total,
+plus per-link busy seconds, which the tests use to verify the paper's
+O(m log p) (allreduce) vs O(m p) (parameter server) traffic claims directly.
+When an observability session with tracing is active
+(:func:`repro.obs.active`), every transfer is also logged as a
+:class:`~repro.obs.trace_export.MessageEvent` for Chrome-trace export;
+otherwise the log stays ``None`` and transfers pay nothing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..cluster.topology import Topology
+from ..obs.runtime import active as _obs_active
+from ..obs.trace_export import MessageEvent
 from ..sim import Delay, Engine, Resource, Store, Tracer
 
 __all__ = ["Message", "Endpoint", "Fabric"]
@@ -77,6 +83,16 @@ class Fabric:
         self.bytes_per_link: Dict[Tuple[str, str], float] = {
             key: 0.0 for key in topology.links
         }
+        self.messages_per_link: Dict[Tuple[str, str], int] = {
+            key: 0 for key in topology.links
+        }
+        self.busy_seconds_per_link: Dict[Tuple[str, str], float] = {
+            key: 0.0 for key in topology.links
+        }
+        sess = _obs_active()
+        self.message_log: Optional[List[MessageEvent]] = (
+            [] if (sess is not None and sess.trace) else None
+        )
 
     def attach(self, name: str, node: str) -> "Endpoint":
         """Create (or fetch) the endpoint ``name`` living on topology ``node``."""
@@ -104,6 +120,33 @@ class Fabric:
         self.total_messages = 0
         for key in self.bytes_per_link:
             self.bytes_per_link[key] = 0.0
+            self.messages_per_link[key] = 0
+            self.busy_seconds_per_link[key] = 0.0
+        if self.message_log is not None:
+            self.message_log.clear()
+
+    def publish_metrics(self, registry, **labels) -> None:
+        """Copy the fabric counters into a metrics registry.
+
+        ``labels`` (algo/p/T/workload...) distinguish runs sharing one
+        registry; per-link instruments add a ``link`` label on top.
+        """
+        registry.counter("fabric.bytes_total", **labels).inc(self.total_bytes)
+        registry.counter("fabric.messages_total", **labels).inc(self.total_messages)
+        span = self.engine.now
+        for key in self.topology.links:
+            link = f"{key[0]}-{key[1]}"
+            if self.messages_per_link[key]:
+                registry.counter("fabric.link.bytes", link=link, **labels).inc(
+                    self.bytes_per_link[key]
+                )
+                registry.counter("fabric.link.messages", link=link, **labels).inc(
+                    self.messages_per_link[key]
+                )
+            if span > 0 and self.busy_seconds_per_link[key] > 0:
+                registry.gauge("fabric.link.utilization", link=link, **labels).set(
+                    min(1.0, self.busy_seconds_per_link[key] / span)
+                )
 
     # -- transfer model ------------------------------------------------------
 
@@ -125,10 +168,13 @@ class Fabric:
         bottleneck = float("inf")
         for hop in hops:
             self.bytes_per_link[hop] += nbytes
+            self.messages_per_link[hop] += 1
             link = self.topology.links[hop]
             duration += link.latency
             bottleneck = min(bottleneck, link.bandwidth)
         duration += nbytes / bottleneck
+        for hop in hops:
+            self.busy_seconds_per_link[hop] += duration
         if not self.contention:
             yield Delay(duration)
             return
@@ -195,7 +241,21 @@ class Endpoint:
             nbytes = float(getattr(payload, "nbytes", 0.0))
         dst_ep = self.fabric.lookup(dst)
         self.bytes_sent += nbytes
+        log = self.fabric.message_log
+        t_start = self.fabric.engine.now if log is not None else 0.0
         yield from self.fabric._transfer(self.node, dst_ep.node, nbytes)
+        if log is not None:
+            log.append(
+                MessageEvent(
+                    start=t_start,
+                    end=self.fabric.engine.now,
+                    src=self.name,
+                    dst=dst,
+                    src_node=self.node,
+                    dst_node=dst_ep.node,
+                    nbytes=nbytes,
+                )
+            )
         msg = Message(src=self.name, dst=dst, tag=tag, payload=payload, nbytes=nbytes)
         any_queue = dst_ep._any_queues.get(tag)
         if any_queue is not None:

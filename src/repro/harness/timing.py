@@ -22,6 +22,7 @@ from ..cluster.machine import Machine
 from ..comm.collectives import allreduce, broadcast
 from ..comm.fabric import Fabric
 from ..nn.models import ModelInfo
+from ..obs.runtime import active as _obs_active
 from ..ps.server import PSClient, ShardedParameterServer
 from ..sim import Delay
 from .calibration import CalibrationProfile, PAPER_PROFILE, calibrated_machine
@@ -215,6 +216,30 @@ def simulate_epoch_time(
             raise RuntimeError(f"{proc.name} deadlocked")
     span = machine.engine.now
     bd = machine.tracer.mean_breakdown(names)
+    sess = _obs_active()
+    if sess is not None:
+        labels = dict(algo=algorithm, workload=workload.name, p=p, T=T)
+        fabric.publish_metrics(sess.registry, **labels)
+        stats = machine.engine.stats()
+        sess.registry.counter("engine.events_total", **labels).inc(
+            stats["events_processed"]
+        )
+        sess.registry.gauge("engine.max_heap_depth", **labels).set(
+            stats["max_heap_depth"]
+        )
+        sess.registry.gauge("timing.epoch_seconds", **labels).set(span / epochs)
+        sess.registry.gauge("timing.comm_seconds", **labels).set(
+            bd.comm_seconds / epochs
+        )
+        sess.registry.gauge("timing.compute_seconds", **labels).set(
+            bd.compute_seconds / epochs
+        )
+        sess.add_run(
+            f"{algorithm} {workload.name} p={p} T={T}",
+            machine.tracer.spans,
+            fabric.message_log,
+            span,
+        )
     return TimingResult(
         algorithm=algorithm,
         workload=workload.name,

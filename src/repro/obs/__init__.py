@@ -1,0 +1,42 @@
+"""Unified observability: metrics registry, trace export, manifests, profiling.
+
+The accounting substrate behind every headline claim in the paper — epoch
+compute/comm breakdowns, O(m log p) vs O(mp) traffic, staleness distributions
+— collected through one disabled-by-default hook (:func:`active`) that the
+engine, fabric, parameter server, and trainers all consult.
+
+Typical use (also wired into ``python -m repro run EXP --trace --metrics``)::
+
+    from repro import obs
+
+    with obs.observe(obs.ObsSession(trace=True)) as session:
+        run_experiment("fig1")
+    session.registry.save("metrics.json")       # counters/gauges/histograms
+    session.build_exporter().save("trace.json") # chrome://tracing / Perfetto
+"""
+
+from .manifest import RunManifest, git_revision, manifest_path_for
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+from .profiler import Profiler
+from .runtime import ObsSession, TrainerObs, active, observe
+from .trace_export import MessageEvent, TraceExporter, TraceRun, busy_seconds
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MessageEvent",
+    "MetricsRegistry",
+    "ObsSession",
+    "Profiler",
+    "RunManifest",
+    "TraceExporter",
+    "TraceRun",
+    "TrainerObs",
+    "active",
+    "busy_seconds",
+    "git_revision",
+    "manifest_path_for",
+    "metric_key",
+    "observe",
+]

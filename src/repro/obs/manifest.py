@@ -1,0 +1,108 @@
+"""Run manifests: what produced a result file, recorded next to it.
+
+A :class:`RunManifest` captures everything needed to reproduce or audit an
+experiment run after the fact — the experiment id and its keyword overrides,
+the seed, the git revision of the code, interpreter/platform, and both clocks
+(wall seconds spent, virtual seconds simulated).  ``python -m repro run EXP
+--save out.json`` writes ``out.manifest.json`` beside the result; ``python -m
+repro inspect out.manifest.json`` prints it back.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["RunManifest", "git_revision", "manifest_path_for"]
+
+
+def git_revision(repo_dir: Optional[Path] = None) -> Optional[str]:
+    """Current git commit hash, or None outside a repo / without git."""
+    if repo_dir is None:
+        repo_dir = Path(__file__).resolve().parent
+    try:
+        out = subprocess.run(
+            ["git", "-C", str(repo_dir), "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def manifest_path_for(result_path) -> Path:
+    """``out.json`` → ``out.manifest.json`` (sibling of the result file)."""
+    p = Path(result_path)
+    return p.with_name(p.stem + ".manifest.json")
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one experiment run."""
+
+    exp_id: str
+    config: Dict[str, object] = field(default_factory=dict)
+    seed: Optional[int] = None
+    git_rev: Optional[str] = None
+    wall_seconds: float = 0.0
+    virtual_seconds: float = 0.0
+    created: str = ""
+    python: str = ""
+    platform: str = ""
+
+    @classmethod
+    def collect(
+        cls,
+        exp_id: str,
+        config: Dict[str, object],
+        wall_seconds: float,
+        virtual_seconds: float = 0.0,
+    ) -> "RunManifest":
+        """Build a manifest for a run that just finished, probing env/git."""
+        seed = config.get("seed")
+        return cls(
+            exp_id=exp_id,
+            config={k: repr(v) if not _jsonable(v) else v for k, v in config.items()},
+            seed=int(seed) if isinstance(seed, (int, float)) else None,
+            git_rev=git_revision(),
+            wall_seconds=wall_seconds,
+            virtual_seconds=virtual_seconds,
+            created=datetime.now(timezone.utc).isoformat(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        fields = {k: data[k] for k in cls.__dataclass_fields__ if k in data}
+        return cls(**fields)
+
+    def write(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        data = json.loads(Path(path).read_text())
+        if "exp_id" not in data or "created" not in data:
+            raise ValueError("not a run manifest: missing exp_id/created")
+        return cls.from_dict(data)
+
+
+def _jsonable(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except (TypeError, ValueError):
+        return False

@@ -1,0 +1,134 @@
+"""Flame-style aggregation of where a run's time and FLOPs go.
+
+A :class:`Profiler` merges two views of one run:
+
+* **phases** — virtual seconds per span category (ingested from tracer spans
+  or recorded trace runs), split per actor under ``actor/category`` paths so
+  the table reads like a two-level flame graph;
+* **layers** — per-layer FLOPs and parameters from a model's
+  ``layer_summary`` (the Table I/II builders), showing which layer the
+  compute phase actually spends its arithmetic on.
+
+It is also a context manager that wall-clocks its own block, so scripts can
+wrap a training call and print the table afterwards::
+
+    with Profiler() as prof:
+        result = SASGDTrainer(prob, cfg).train()
+    prof.ingest_spans(trainer.machine.tracer.spans)
+    prof.ingest_layers(model.layer_summary((3, 32, 32)))
+    print(prof.format_flame())
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..sim.trace import Span, bucket_for
+
+__all__ = ["Profiler"]
+
+
+class Profiler:
+    """Aggregates per-phase virtual time and per-layer FLOPs."""
+
+    def __init__(self) -> None:
+        # path -> seconds; paths are "actor/category" or bare category
+        self.phases: Dict[str, float] = defaultdict(float)
+        self.layers: List[dict] = []
+        self.wall_seconds: Optional[float] = None
+        self._t0: Optional[float] = None
+
+    # -- context manager (wall clock) ---------------------------------------
+
+    def __enter__(self) -> "Profiler":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._t0 is not None:
+            self.wall_seconds = time.perf_counter() - self._t0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add_phase(self, path: str, seconds: float) -> None:
+        self.phases[path] += seconds
+
+    def ingest_spans(self, spans: Iterable[Span], prefix: str = "") -> None:
+        """Accumulate tracer spans as ``[prefix/]actor/category`` phases."""
+        for span in spans:
+            path = f"{span.actor}/{span.category}"
+            if prefix:
+                path = f"{prefix}/{path}"
+            self.phases[path] += span.duration
+
+    def ingest_layers(self, rows: Sequence[dict]) -> None:
+        """Take ``Module.layer_summary`` rows (layer/params/flops dicts)."""
+        for row in rows:
+            if str(row.get("layer", "")).upper() == "TOTAL":
+                continue
+            self.layers.append(
+                {
+                    "layer": row.get("layer", "?"),
+                    "params": row.get("params", 0),
+                    "flops": float(row.get("flops", 0.0)),
+                }
+            )
+
+    # -- rendering -----------------------------------------------------------
+
+    def _grouped_phases(self) -> Dict[str, Dict[str, float]]:
+        """``{top: {sub: seconds}}`` — top is the first path component."""
+        groups: Dict[str, Dict[str, float]] = defaultdict(dict)
+        for path, seconds in self.phases.items():
+            top, _, rest = path.partition("/")
+            groups[top][rest or "<self>"] = groups[top].get(rest or "<self>", 0.0) + seconds
+        return groups
+
+    def format_flame(self, width: int = 30) -> str:
+        """Indented table with proportional bars, largest consumers first."""
+        lines: List[str] = []
+        groups = self._grouped_phases()
+        if groups:
+            lines.append("phases (virtual seconds)")
+            total = sum(sum(subs.values()) for subs in groups.values()) or 1.0
+            order = sorted(groups, key=lambda g: -sum(groups[g].values()))
+            for top in order:
+                subs = groups[top]
+                top_total = sum(subs.values())
+                lines.append(_bar_line(top, top_total, total, width, indent=2))
+                for sub, seconds in sorted(subs.items(), key=lambda kv: -kv[1]):
+                    if sub == "<self>":
+                        continue
+                    label = f"{sub} [{bucket_for(sub)}]" if bucket_for(sub) != sub else sub
+                    lines.append(_bar_line(label, seconds, total, width, indent=4))
+        if self.layers:
+            if lines:
+                lines.append("")
+            lines.append("layers (forward FLOPs per example)")
+            total_flops = sum(l["flops"] for l in self.layers) or 1.0
+            for layer in sorted(self.layers, key=lambda l: -l["flops"]):
+                lines.append(
+                    _bar_line(
+                        f"{layer['layer']} ({layer['params']:,} params)",
+                        layer["flops"],
+                        total_flops,
+                        width,
+                        indent=2,
+                        unit="",
+                    )
+                )
+        if self.wall_seconds is not None:
+            lines.append("")
+            lines.append(f"wall: {self.wall_seconds:.3f}s")
+        return "\n".join(lines) if lines else "(profiler: nothing recorded)"
+
+
+def _bar_line(
+    label: str, value: float, total: float, width: int, indent: int, unit: str = "s"
+) -> str:
+    frac = value / total if total > 0 else 0.0
+    bar = "█" * max(1, round(frac * width)) if value > 0 else ""
+    amount = f"{value:.3f}{unit}" if unit else f"{value:.3g}"
+    return f"{' ' * indent}{label:<32} {amount:>12}  {100 * frac:5.1f}%  {bar}"

@@ -1,0 +1,132 @@
+"""The active observability session and the hook the instrumented layers use.
+
+Instrumentation across :mod:`repro` is *disabled by default*: the engine,
+fabric, parameter server, and trainers each ask :func:`active` (one module
+global read) and do nothing when no session is installed, so un-observed runs
+pay essentially nothing.  Installing a session::
+
+    from repro import obs
+
+    session = obs.ObsSession(trace=True)
+    with obs.observe(session):
+        result = run_experiment("fig1")
+    session.registry.save("metrics.json")
+    session.build_exporter().save("trace.json")
+
+Every simulation executed inside the ``with`` block publishes its counters
+into ``session.registry`` (labeled by algo/p/T/workload) and — when
+``trace=True`` — contributes its span timeline and fabric message log as one
+:class:`~repro.obs.trace_export.TraceRun`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from .metrics import MetricsRegistry
+
+__all__ = ["ObsSession", "TrainerObs", "active", "observe"]
+
+
+class ObsSession:
+    """One observed run group: a registry plus (optionally) trace capture."""
+
+    def __init__(self, trace: bool = False) -> None:
+        self.registry = MetricsRegistry()
+        self.trace = trace
+        self.trace_runs: List = []  # TraceRun instances (obs.trace_export)
+        self.virtual_seconds = 0.0  # summed over recorded runs
+
+    def add_run(self, label: str, spans, messages, duration: float) -> None:
+        """Record one simulation's timeline (called by trainers/harness)."""
+        self.virtual_seconds += duration
+        if not self.trace:
+            return
+        from .trace_export import TraceRun
+
+        self.trace_runs.append(
+            TraceRun(
+                label=label,
+                spans=list(spans),
+                messages=list(messages or []),
+                duration=duration,
+            )
+        )
+
+    def build_exporter(self):
+        """A :class:`TraceExporter` over every recorded run."""
+        from .trace_export import TraceExporter
+
+        exporter = TraceExporter()
+        for run in self.trace_runs:
+            exporter.add_run(run)
+        return exporter
+
+
+_ACTIVE: Optional[ObsSession] = None
+
+
+def active() -> Optional[ObsSession]:
+    """The installed session, or None (the fast, common case)."""
+    return _ACTIVE
+
+
+@contextmanager
+def observe(session: Optional[ObsSession] = None) -> Iterator[ObsSession]:
+    """Install ``session`` (a fresh one if omitted) for the block's duration.
+
+    Nests: the previous session is restored on exit.
+    """
+    global _ACTIVE
+    if session is None:
+        session = ObsSession()
+    previous = _ACTIVE
+    _ACTIVE = session
+    try:
+        yield session
+    finally:
+        _ACTIVE = previous
+
+
+class TrainerObs:
+    """Pre-resolved trainer instruments, so hot loops skip registry lookups.
+
+    Built once per trainer at ``train()`` start via :meth:`maybe`; ``None``
+    when no session is active, which is the only check the per-batch path
+    performs.
+    """
+
+    __slots__ = ("session", "labels", "samples", "batches", "grad_norm", "staleness")
+
+    def __init__(self, session: ObsSession, algorithm: str, p: int, problem: str) -> None:
+        reg = session.registry
+        self.labels = dict(algo=algorithm, p=p, problem=problem)
+        self.session = session
+        self.samples = reg.counter("train.samples_total", **self.labels)
+        self.batches = reg.counter("train.batches_total", **self.labels)
+        self.grad_norm = reg.histogram("train.grad_norm", **self.labels)
+        self.staleness = reg.histogram("train.staleness", **self.labels)
+
+    @classmethod
+    def maybe(cls, algorithm: str, p: int, problem: str) -> Optional["TrainerObs"]:
+        session = active()
+        if session is None:
+            return None
+        return cls(session, algorithm, p, problem)
+
+    def on_batch(self, nb: int, grad) -> None:
+        self.samples.inc(nb)
+        self.batches.inc()
+        if grad is not None:
+            # sqrt(g.g) — cheap next to the backward pass that produced g
+            self.grad_norm.observe(float((grad * grad).sum()) ** 0.5)
+
+    def finish(self, samples: int, virtual_seconds: float, wall_seconds: float) -> None:
+        reg = self.session.registry
+        if virtual_seconds > 0:
+            reg.gauge("train.samples_per_second", **self.labels).set(
+                samples / virtual_seconds
+            )
+        reg.gauge("train.virtual_seconds", **self.labels).set(virtual_seconds)
+        reg.gauge("train.wall_seconds", **self.labels).set(wall_seconds)

@@ -1,0 +1,220 @@
+"""Chrome trace-event export of simulation timelines.
+
+Converts :class:`repro.sim.trace.Tracer` spans plus fabric message events
+into the Chrome trace-event JSON object format, loadable in
+``chrome://tracing`` or Perfetto.  Each simulated run becomes one *process*
+(pid) named after its configuration (``"downpour CIFAR-10 p=8 T=1"``), and
+each actor — learner or parameter-server shard — one named *thread* (tid), so
+a figure's whole grid of simulations lands in a single navigable file with
+one track per learner/server.
+
+Span categories map to their report bucket (``apply`` → ``compute``, see
+:data:`repro.sim.trace.CATEGORY_BUCKETS`) through the event's ``cat`` field;
+messages appear as instant events on the sending actor's track.
+
+The format round-trips: :meth:`TraceExporter.parse` reconstructs the spans
+from the JSON, and tests assert the busy/idle accounting (busy + idle = span)
+is preserved exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..sim.trace import Span, bucket_for
+
+__all__ = ["MessageEvent", "TraceRun", "TraceExporter"]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    """One fabric transfer, recorded when tracing is on."""
+
+    start: float
+    end: float
+    src: str
+    dst: str
+    src_node: str
+    dst_node: str
+    nbytes: float
+
+
+@dataclass
+class TraceRun:
+    """One simulation's complete timeline: spans + messages + final clock."""
+
+    label: str
+    spans: List[Span]
+    messages: List[MessageEvent] = field(default_factory=list)
+    duration: float = 0.0
+
+
+class TraceExporter:
+    """Accumulates runs and renders them as one trace-event JSON document."""
+
+    def __init__(self) -> None:
+        self.runs: List[TraceRun] = []
+
+    def add_run(self, run: TraceRun) -> None:
+        self.runs.append(run)
+
+    def add(
+        self,
+        label: str,
+        spans: List[Span],
+        messages: Optional[List[MessageEvent]] = None,
+        duration: float = 0.0,
+    ) -> None:
+        self.add_run(TraceRun(label, list(spans), list(messages or []), duration))
+
+    # -- rendering -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        events: List[dict] = []
+        run_index = []
+        for pid, run in enumerate(self.runs, start=1):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": run.label},
+                }
+            )
+            tids: Dict[str, int] = {}
+
+            def tid_for(actor: str) -> int:
+                tid = tids.get(actor)
+                if tid is None:
+                    tid = tids[actor] = len(tids) + 1
+                    events.append(
+                        {
+                            "name": "thread_name",
+                            "ph": "M",
+                            "pid": pid,
+                            "tid": tid,
+                            "args": {"name": actor},
+                        }
+                    )
+                return tid
+
+            for span in run.spans:
+                events.append(
+                    {
+                        "name": span.category,
+                        "cat": bucket_for(span.category),
+                        "ph": "X",
+                        "ts": span.start * _US,
+                        "dur": span.duration * _US,
+                        "pid": pid,
+                        "tid": tid_for(span.actor),
+                    }
+                )
+            for msg in run.messages:
+                events.append(
+                    {
+                        "name": f"msg->{msg.dst}",
+                        "cat": "message",
+                        "ph": "i",
+                        "s": "t",
+                        "ts": msg.end * _US,
+                        "pid": pid,
+                        "tid": tid_for(msg.src),
+                        "args": {
+                            "nbytes": msg.nbytes,
+                            "route": f"{msg.src_node}->{msg.dst_node}",
+                            "transfer_s": msg.end - msg.start,
+                        },
+                    }
+                )
+            run_index.append(
+                {"pid": pid, "label": run.label, "duration_s": run.duration}
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs", "runs": run_index},
+        }
+
+    def save(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    # -- round trip ----------------------------------------------------------
+
+    @staticmethod
+    def parse(data: dict) -> Dict[str, TraceRun]:
+        """Rebuild ``{label: TraceRun}`` from an exported document.
+
+        Message instant events come back in ``TraceRun.messages`` with the
+        timing/size fields their export carried (actor-level ``src``/``dst``;
+        node routes are not reconstructed).
+        """
+        if "traceEvents" not in data:
+            raise ValueError("not a trace-event file: missing 'traceEvents'")
+        pid_labels: Dict[int, str] = {}
+        thread_names: Dict[tuple, str] = {}
+        for ev in data["traceEvents"]:
+            if ev.get("ph") != "M":
+                continue
+            if ev["name"] == "process_name":
+                pid_labels[ev["pid"]] = ev["args"]["name"]
+            elif ev["name"] == "thread_name":
+                thread_names[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+        durations = {
+            entry["pid"]: entry["duration_s"]
+            for entry in data.get("otherData", {}).get("runs", [])
+        }
+        runs: Dict[str, TraceRun] = {}
+        by_pid: Dict[int, TraceRun] = {}
+        for pid, label in pid_labels.items():
+            run = TraceRun(label=label, spans=[], duration=durations.get(pid, 0.0))
+            runs[label] = by_pid[pid] = run
+        for ev in data["traceEvents"]:
+            run = by_pid.get(ev.get("pid"))
+            if run is None:
+                continue
+            actor = thread_names.get((ev["pid"], ev.get("tid")), f"tid{ev.get('tid')}")
+            if ev.get("ph") == "X":
+                start = ev["ts"] / _US
+                run.spans.append(
+                    Span(
+                        actor=actor,
+                        category=ev["name"],
+                        start=start,
+                        end=start + ev["dur"] / _US,
+                    )
+                )
+            elif ev.get("ph") == "i":
+                end = ev["ts"] / _US
+                args = ev.get("args", {})
+                run.messages.append(
+                    MessageEvent(
+                        start=end - args.get("transfer_s", 0.0),
+                        end=end,
+                        src=actor,
+                        dst=ev["name"].replace("msg->", "", 1),
+                        src_node="",
+                        dst_node="",
+                        nbytes=args.get("nbytes", 0.0),
+                    )
+                )
+        return runs
+
+    @staticmethod
+    def load(path) -> Dict[str, TraceRun]:
+        return TraceExporter.parse(json.loads(Path(path).read_text()))
+
+
+def busy_seconds(spans: List[Span], actor: str) -> Dict[str, float]:
+    """Per-category busy seconds for ``actor`` (no window clipping)."""
+    out: Dict[str, float] = {}
+    for span in spans:
+        if span.actor == actor:
+            out[span.category] = out.get(span.category, 0.0) + span.duration
+    return out

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..cluster.machine import Machine
 from ..comm.fabric import Endpoint, Fabric
+from ..obs.runtime import active as _obs_active
 from ..sim import Delay
 
 __all__ = ["ShardLayout", "ShardedParameterServer", "PSClient"]
@@ -123,8 +124,26 @@ class ShardedParameterServer:
         lo, hi = self.layout.bounds[sid]
         actor = ep.name
         tracer = self.machine.tracer
+        engine = self.machine.engine
+        req_tag = ("req", self.name, sid)
+        # resolved lazily so a session installed after construction still sees
+        # this shard; None means "not observed" and costs one global read
+        obs_latency = obs_depth = None
+        t_serve = 0.0
         while not self._stopping:
-            msg = yield from ep.recv_any(("req", self.name, sid))
+            msg = yield from ep.recv_any(req_tag)
+            sess = _obs_active()
+            if sess is not None:
+                if obs_latency is None:
+                    reg = sess.registry
+                    obs_latency = reg.histogram(
+                        "ps.request_seconds", server=self.name, shard=sid
+                    )
+                    obs_depth = reg.histogram(
+                        "ps.queue_depth", server=self.name, shard=sid
+                    )
+                t_serve = engine.now
+                obs_depth.observe(float(len(ep._any_queues[req_tag])))
             kind, learner, seq, payload, extra = msg.payload
             if kind == "stop":
                 break
@@ -169,6 +188,8 @@ class ShardedParameterServer:
                 )
             else:
                 raise ValueError(f"unknown request kind {kind!r}")
+            if sess is not None:
+                obs_latency.observe(engine.now - t_serve)
 
     def stop(self) -> None:
         """Ask shard processes to exit after their current request."""
@@ -184,6 +205,7 @@ class PSClient:
         self._seq = 0
         self.staleness_samples: List[int] = []
         self._pull_version = 0  # sum of shard versions at last pull
+        self._pull_versions = [0] * server.layout.n_shards  # per-shard
 
     def _next_seq(self) -> int:
         self._seq += 1
@@ -208,12 +230,19 @@ class PSClient:
         pull and this push landing (per shard, then summed).
         """
         server = self.server
+        sess = _obs_active()
         version_now = 0
         for sid, (lo, hi) in enumerate(server.layout.bounds):
             payload = None if grad is None else grad[lo:hi]
             nbytes = server.layout.slice_bytes(sid, server.dtype.itemsize)
             v = yield from self._request(sid, "push", payload, nbytes)
             version_now += int(v)
+            if sess is not None:
+                # other learners' pushes that landed on this shard while we
+                # computed: the per-shard staleness distribution (Sec. II-B)
+                sess.registry.histogram(
+                    "ps.staleness", server=server.name, shard=sid
+                ).observe(float(max(0, int(v) - self._pull_versions[sid] - 1)))
         # exclude our own p pushes (one per shard) from the staleness count
         staleness = max(0, version_now - self._pull_version - server.layout.n_shards)
         self.staleness_samples.append(staleness)
@@ -227,6 +256,7 @@ class PSClient:
         for sid, (lo, hi) in enumerate(server.layout.bounds):
             reply, v = yield from self._request(sid, "pull", None, _REQ_NBYTES)
             version += int(v)
+            self._pull_versions[sid] = int(v)
             if out is not None and reply is not None:
                 out[lo:hi] = reply
         self._pull_version = version
@@ -235,11 +265,18 @@ class PSClient:
     def elastic(self, x_local: Optional[np.ndarray], alpha: float) -> Generator:
         """One EASGD exchange; returns the elastic difference e (or None)."""
         server = self.server
+        sess = _obs_active()
         out = None if server.timing_only else np.empty_like(server.x)
         for sid, (lo, hi) in enumerate(server.layout.bounds):
             payload = None if x_local is None else x_local[lo:hi]
             nbytes = server.layout.slice_bytes(sid, server.dtype.itemsize)
             e, _v = yield from self._request(sid, "elastic", payload, nbytes, extra=alpha)
+            if sess is not None:
+                # center-variable movements by peers since our last exchange
+                sess.registry.histogram(
+                    "ps.staleness", server=server.name, shard=sid
+                ).observe(float(max(0, int(_v) - self._pull_versions[sid] - 1)))
+            self._pull_versions[sid] = int(_v)
             if out is not None and e is not None:
                 out[lo:hi] = e
         return out

@@ -9,12 +9,13 @@ cluster component runs on.
 
 from .engine import AllOf, AnyOf, Delay, Engine, Event, Process, SimulationError
 from .resources import Barrier, Resource, Store
-from .trace import EpochBreakdown, Span, Tracer
+from .trace import CATEGORY_BUCKETS, EpochBreakdown, Span, Tracer, bucket_for
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Barrier",
+    "CATEGORY_BUCKETS",
     "Delay",
     "Engine",
     "EpochBreakdown",
@@ -25,4 +26,5 @@ __all__ = [
     "Span",
     "Store",
     "Tracer",
+    "bucket_for",
 ]

@@ -219,6 +219,10 @@ class Engine:
         self._heap: list[_ScheduledItem] = []
         self._crashes: list[tuple[Process, BaseException]] = []
         self.on_crash: Optional[Callable[[Process, BaseException], None]] = None
+        # scheduling statistics, kept as cheap ints the observability layer
+        # reads after the run (no per-event hook, no callback)
+        self.events_processed = 0
+        self.max_heap_depth = 0
 
     @property
     def now(self) -> float:
@@ -254,6 +258,8 @@ class Engine:
         heapq.heappush(
             self._heap, _ScheduledItem(self._now + delay, self._seq, proc, value)
         )
+        if len(self._heap) > self.max_heap_depth:
+            self.max_heap_depth = len(self._heap)
 
     def _crashed(self, proc: Process, exc: BaseException) -> None:
         self._crashes.append((proc, exc))
@@ -289,11 +295,20 @@ class Engine:
             self._now = item.time
             item.proc._step(item.value)
             count += 1
+            self.events_processed += 1
             if max_events is not None and count > max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    def stats(self) -> dict:
+        """Scheduling statistics for the observability layer."""
+        return {
+            "events_processed": self.events_processed,
+            "max_heap_depth": self.max_heap_depth,
+            "virtual_seconds": self._now,
+        }
 
     def run_process(self, gen: Generator, name: str = "") -> Any:
         """Spawn ``gen``, run to completion, and return its result."""

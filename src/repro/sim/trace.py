@@ -24,7 +24,22 @@ from typing import Dict, Generator, Iterable, List, Optional
 
 from .engine import Engine
 
-__all__ = ["Span", "Tracer", "EpochBreakdown"]
+__all__ = ["Span", "Tracer", "EpochBreakdown", "CATEGORY_BUCKETS", "bucket_for"]
+
+#: Span category -> report bucket.  The single place where "apply" (optimiser
+#: math) folds into the compute bucket; both the breakdown report below and
+#: the Chrome trace exporter (:mod:`repro.obs.trace_export`) use this mapping,
+#: so a new category only needs registering here to be bucketed consistently.
+CATEGORY_BUCKETS: Dict[str, str] = {
+    "compute": "compute",
+    "apply": "compute",
+    "comm": "comm",
+}
+
+
+def bucket_for(category: str) -> str:
+    """Report bucket for a span category (unknown categories are their own)."""
+    return CATEGORY_BUCKETS.get(category, category)
 
 
 @dataclass(frozen=True)
@@ -49,13 +64,18 @@ class EpochBreakdown:
     seconds: Dict[str, float]
     span: float  # wall (virtual) time of the window
 
+    def bucket_seconds(self, bucket: str) -> float:
+        return sum(
+            sec for cat, sec in self.seconds.items() if bucket_for(cat) == bucket
+        )
+
     @property
     def compute_seconds(self) -> float:
-        return self.seconds.get("compute", 0.0) + self.seconds.get("apply", 0.0)
+        return self.bucket_seconds("compute")
 
     @property
     def comm_seconds(self) -> float:
-        return self.seconds.get("comm", 0.0)
+        return self.bucket_seconds("comm")
 
     @property
     def comm_fraction(self) -> float:

@@ -1,0 +1,175 @@
+"""Unit tests for the metrics instruments and registry (repro.obs.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+
+
+# -- metric_key ----------------------------------------------------------------------
+
+
+def test_metric_key_format():
+    assert metric_key("fabric.bytes_total", {}) == "fabric.bytes_total"
+    key = metric_key("fabric.bytes_total", {"p": 8, "algo": "sasgd"})
+    assert key == "fabric.bytes_total{algo=sasgd,p=8}"  # labels sorted
+
+
+def test_metric_key_label_order_independent():
+    a = metric_key("m", {"a": 1, "b": 2})
+    b = metric_key("m", {"b": 2, "a": 1})
+    assert a == b
+
+
+# -- counter -------------------------------------------------------------------------
+
+
+def test_counter_accumulates_and_resets():
+    reg = MetricsRegistry()
+    c = reg.counter("msgs", algo="sasgd")
+    c.inc()
+    c.inc(41.0)
+    assert c.value == 42.0
+    c.reset()
+    assert c.value == 0.0
+
+
+def test_counter_rejects_negative():
+    c = Counter("n", ())
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_registry_get_or_create_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("msgs", p=2)
+    b = reg.counter("msgs", p=2)
+    other = reg.counter("msgs", p=4)
+    assert a is b
+    assert a is not other
+    assert len(reg) == 2
+
+
+# -- gauge ---------------------------------------------------------------------------
+
+
+def test_gauge_none_until_set():
+    g = Gauge("util", ())
+    assert g.value is None
+    g.set(0.75)
+    assert g.value == 0.75
+    g.reset()
+    assert g.value is None
+
+
+# -- histogram -----------------------------------------------------------------------
+
+
+def test_histogram_percentiles_match_numpy():
+    rng = np.random.default_rng(7)
+    samples = rng.exponential(3.0, size=501)
+    h = Histogram("lat", ())
+    for s in samples:
+        h.observe(s)
+    for q in (0.0, 10.0, 50.0, 90.0, 99.0, 100.0):
+        assert h.percentile(q) == pytest.approx(float(np.percentile(samples, q)))
+
+
+def test_histogram_edge_cases():
+    h = Histogram("lat", ())
+    with pytest.raises(ValueError):
+        h.percentile(50)
+    h.observe(3.0)
+    assert h.percentile(0) == 3.0
+    assert h.percentile(100) == 3.0
+    h.observe(5.0)
+    assert h.percentile(50) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        h.percentile(101)
+
+
+def test_histogram_summary():
+    h = Histogram("lat", ())
+    assert h.summary() == {"count": 0, "sum": 0.0}
+    for v in (1.0, 2.0, 3.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["sum"] == 6.0
+    assert s["mean"] == 2.0
+    assert s["min"] == 1.0
+    assert s["max"] == 3.0
+    assert s["p50"] == 2.0
+
+
+# -- registry snapshot / reset -------------------------------------------------------
+
+
+def test_snapshot_isolated_from_later_mutation():
+    reg = MetricsRegistry()
+    c = reg.counter("msgs")
+    c.inc(5)
+    reg.gauge("util").set(0.5)
+    reg.histogram("lat").observe(1.0)
+    snap = reg.snapshot()
+    c.inc(100)
+    reg.gauge("util").set(0.9)
+    reg.histogram("lat").observe(99.0)
+    assert snap["counters"]["msgs"] == 5.0
+    assert snap["gauges"]["util"] == 0.5
+    assert snap["histograms"]["lat"]["count"] == 1
+
+
+def test_reset_zeroes_but_keeps_references_valid():
+    reg = MetricsRegistry()
+    c = reg.counter("msgs", p=2)
+    h = reg.histogram("lat", p=2)
+    c.inc(7)
+    h.observe(1.0)
+    reg.reset()
+    assert c.value == 0.0
+    assert h.count == 0
+    # the held reference is still the registry's instrument
+    c.inc(3)
+    assert reg.counter("msgs", p=2).value == 3.0
+    assert len(reg) == 2  # reset does not drop instruments
+
+
+def test_clear_drops_instruments():
+    reg = MetricsRegistry()
+    reg.counter("msgs")
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_find_counters_matches_label_subset():
+    reg = MetricsRegistry()
+    reg.counter("fabric.bytes_total", algo="sasgd", p=2).inc(10)
+    reg.counter("fabric.bytes_total", algo="sasgd", p=4).inc(20)
+    reg.counter("fabric.bytes_total", algo="downpour", p=2).inc(30)
+    reg.counter("other", algo="sasgd", p=2).inc(40)
+    found = reg.find_counters("fabric.bytes_total", algo="sasgd")
+    assert sorted(c.value for c in found) == [10.0, 20.0]
+    assert len(reg.find_counters("fabric.bytes_total")) == 3
+
+
+# -- JSON export ---------------------------------------------------------------------
+
+
+def test_save_load_snapshot_roundtrip(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("msgs", algo="sasgd").inc(12)
+    reg.gauge("util").set(0.25)
+    reg.histogram("lat").observe(2.0)
+    path = tmp_path / "metrics.json"
+    reg.save(path)
+    back = MetricsRegistry.load_snapshot(path)
+    assert back == reg.snapshot()
+    assert back["counters"]["msgs{algo=sasgd}"] == 12.0
+
+
+def test_load_snapshot_rejects_non_metrics_file(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text('{"rows": []}')
+    with pytest.raises(ValueError):
+        MetricsRegistry.load_snapshot(path)

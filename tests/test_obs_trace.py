@@ -1,0 +1,172 @@
+"""Trace export round-trip and category-bucket folding (repro.obs.trace_export)."""
+
+import json
+
+import pytest
+
+from repro.obs import MessageEvent, TraceExporter, TraceRun, busy_seconds
+from repro.sim import CATEGORY_BUCKETS, Engine, bucket_for
+from repro.sim.trace import EpochBreakdown, Span, Tracer
+
+
+def make_spans():
+    return [
+        Span("learner0", "compute", 0.0, 1.0),
+        Span("learner0", "comm", 1.0, 1.5),
+        Span("learner0", "compute", 1.5, 2.25),
+        Span("ps0", "apply", 0.25, 0.75),
+    ]
+
+
+def make_run():
+    messages = [
+        MessageEvent(
+            start=1.0, end=1.4, src="learner0", dst="ps0",
+            src_node="gpu0", dst_node="cpu0", nbytes=4096.0,
+        )
+    ]
+    return TraceRun("sasgd toy p=2", make_spans(), messages, duration=2.5)
+
+
+# -- category buckets (the single folding constant) ----------------------------------
+
+
+def test_apply_folds_into_compute_bucket():
+    assert CATEGORY_BUCKETS["apply"] == "compute"
+    assert bucket_for("apply") == "compute"
+    assert bucket_for("comm") == "comm"
+    assert bucket_for("weird") == "weird"  # unknown categories are their own
+
+
+def test_breakdown_uses_buckets():
+    bd = EpochBreakdown(
+        actor="ps0", seconds={"apply": 0.5, "compute": 1.0, "comm": 0.25}, span=2.0
+    )
+    assert bd.compute_seconds == pytest.approx(1.5)  # apply folded in
+    assert bd.comm_seconds == pytest.approx(0.25)
+
+
+def test_exported_cat_field_uses_bucket():
+    exporter = TraceExporter()
+    exporter.add_run(make_run())
+    doc = exporter.to_dict()
+    apply_events = [
+        e for e in doc["traceEvents"] if e.get("ph") == "X" and e["name"] == "apply"
+    ]
+    assert apply_events and all(e["cat"] == "compute" for e in apply_events)
+
+
+# -- structure -----------------------------------------------------------------------
+
+
+def test_one_process_per_run_one_thread_per_actor():
+    exporter = TraceExporter()
+    exporter.add_run(make_run())
+    exporter.add("downpour toy p=1", make_spans(), duration=2.5)
+    doc = exporter.to_dict()
+    procs = [e for e in doc["traceEvents"] if e["name"] == "process_name"]
+    assert [p["args"]["name"] for p in procs] == ["sasgd toy p=2", "downpour toy p=1"]
+    assert [p["pid"] for p in procs] == [1, 2]
+    threads = [
+        e for e in doc["traceEvents"] if e["name"] == "thread_name" and e["pid"] == 1
+    ]
+    assert {t["args"]["name"] for t in threads} == {"learner0", "ps0"}
+    assert len(doc["otherData"]["runs"]) == 2
+
+
+def test_span_timestamps_in_microseconds():
+    doc = TraceExporter()
+    doc.add_run(make_run())
+    events = doc.to_dict()["traceEvents"]
+    first = next(e for e in events if e.get("ph") == "X" and e["name"] == "comm")
+    assert first["ts"] == pytest.approx(1.0e6)
+    assert first["dur"] == pytest.approx(0.5e6)
+
+
+# -- round trip ----------------------------------------------------------------------
+
+
+def test_export_parse_roundtrip_preserves_spans(tmp_path):
+    exporter = TraceExporter()
+    exporter.add_run(make_run())
+    path = tmp_path / "trace.json"
+    exporter.save(path)
+
+    # the file is valid JSON with the trace-event envelope
+    raw = json.loads(path.read_text())
+    assert "traceEvents" in raw and raw["displayTimeUnit"] == "ms"
+
+    runs = TraceExporter.load(path)
+    assert set(runs) == {"sasgd toy p=2"}
+    run = runs["sasgd toy p=2"]
+    assert run.duration == pytest.approx(2.5)
+    got = sorted(
+        (s.actor, s.category, s.start, s.end) for s in run.spans
+    )
+    want = sorted((s.actor, s.category, s.start, s.end) for s in make_spans())
+    for g, w in zip(got, want):
+        assert g[0] == w[0] and g[1] == w[1]
+        assert g[2] == pytest.approx(w[2])
+        assert g[3] == pytest.approx(w[3])
+
+
+def test_roundtrip_conserves_busy_plus_idle(tmp_path):
+    exporter = TraceExporter()
+    exporter.add_run(make_run())
+    path = tmp_path / "trace.json"
+    exporter.save(path)
+    run = TraceExporter.load(path)["sasgd toy p=2"]
+    for actor in ("learner0", "ps0"):
+        before = sum(busy_seconds(make_spans(), actor).values())
+        after = sum(busy_seconds(run.spans, actor).values())
+        assert after == pytest.approx(before)
+        idle = run.duration - after
+        assert after + idle == pytest.approx(run.duration)
+        assert idle >= -1e-9
+
+
+def test_roundtrip_preserves_messages(tmp_path):
+    exporter = TraceExporter()
+    exporter.add_run(make_run())
+    path = tmp_path / "trace.json"
+    exporter.save(path)
+    run = TraceExporter.load(path)["sasgd toy p=2"]
+    assert len(run.messages) == 1
+    msg = run.messages[0]
+    assert msg.src == "learner0"
+    assert msg.dst == "ps0"
+    assert msg.nbytes == pytest.approx(4096.0)
+    assert msg.end - msg.start == pytest.approx(0.4)
+
+
+def test_parse_rejects_non_trace_document():
+    with pytest.raises(ValueError):
+        TraceExporter.parse({"counters": {}})
+
+
+# -- real tracer spans --------------------------------------------------------------
+
+
+def test_tracer_spans_export_cleanly():
+    eng = Engine()
+    tracer = Tracer(eng)
+
+    def actor():
+        from repro.sim import Delay
+
+        tracer.begin("w", "compute")
+        yield Delay(0.5)
+        tracer.end("w", "compute")
+        tracer.begin("w", "comm")
+        yield Delay(0.25)
+        tracer.end("w", "comm")
+
+    eng.spawn(actor())
+    eng.run()
+    exporter = TraceExporter()
+    exporter.add("run", tracer.spans, duration=eng.now)
+    run = TraceExporter.parse(exporter.to_dict())["run"]
+    cats = busy_seconds(run.spans, "w")
+    assert cats["compute"] == pytest.approx(0.5)
+    assert cats["comm"] == pytest.approx(0.25)
+    assert sum(cats.values()) == pytest.approx(run.duration)
