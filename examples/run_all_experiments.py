@@ -9,6 +9,12 @@ with the paper's claim for side-by-side comparison.
 Run:  python examples/run_all_experiments.py            # full bench grids (slow: ~1h)
       python examples/run_all_experiments.py --quick    # reduced grids (~10 min)
       python examples/run_all_experiments.py --only fig6 fig9
+      python examples/run_all_experiments.py --jobs 4 --cache-dir .exp-cache
+
+``--jobs N`` fans the independent grid points of *all* selected experiments
+out over one shared worker pool (rows are bit-identical to the serial run);
+``--cache-dir`` memoises completed points so an interrupted regeneration
+resumes where it stopped.
 """
 
 import argparse
@@ -16,6 +22,7 @@ import sys
 import time
 
 from repro.harness import format_result, list_experiments, run_experiment
+from repro.harness.parallel import expand_grid, merge_results, run_grid
 
 # Full bench-scale grids (EXPERIMENTS.md numbers).
 FULL = {
@@ -54,6 +61,14 @@ def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--quick", action="store_true", help="reduced grids")
     ap.add_argument("--only", nargs="+", default=None, help="experiment ids to run")
+    ap.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes shared by all experiments (0 = all cores)",
+    )
+    ap.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="memoise completed grid points here (resumable)",
+    )
     args = ap.parse_args()
 
     grids = QUICK if args.quick else FULL
@@ -63,12 +78,27 @@ def main() -> None:
         sys.exit(f"unknown experiments: {sorted(unknown)}")
 
     t_start = time.time()
-    for exp_id in targets:
-        t0 = time.time()
-        result = run_experiment(exp_id, **grids.get(exp_id, {}))
-        print(format_result(result))
-        print(f"({exp_id} regenerated in {time.time()-t0:.0f}s wall)\n")
-        sys.stdout.flush()
+    if args.jobs == 1 and args.cache_dir is None:
+        for exp_id in targets:
+            t0 = time.time()
+            result = run_experiment(exp_id, **grids.get(exp_id, {}))
+            print(format_result(result))
+            print(f"({exp_id} regenerated in {time.time()-t0:.0f}s wall)\n")
+            sys.stdout.flush()
+    else:
+        # one shared pool across every experiment: expand each experiment's
+        # splittable axes into independent points, fan out, merge back
+        points, spans = [], []
+        for exp_id in targets:
+            subs = expand_grid(exp_id, grids.get(exp_id, {}))
+            spans.append((exp_id, len(points), len(points) + len(subs)))
+            points.extend((exp_id, sub) for sub in subs)
+        results = run_grid(points, jobs=args.jobs, cache_dir=args.cache_dir)
+        for exp_id, lo, hi in spans:
+            result = merge_results(exp_id, results[lo:hi])
+            print(format_result(result))
+            print()
+            sys.stdout.flush()
     print(f"total wall time: {time.time()-t_start:.0f}s")
 
 

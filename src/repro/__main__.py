@@ -4,16 +4,26 @@ Commands
 --------
 list
     Print the experiment registry (one id per paper table/figure).
-run EXP_ID [--set key=value ...] [--save out.json]
+run EXP_ID [--set key=value ...] [--save out.json] [--jobs N] [--cache-dir D]
         [--trace t.json] [--metrics m.json] [--manifest mf.json] [--profile]
     Regenerate one experiment and print its report.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
-    ``--trace`` writes a Chrome trace-event file (chrome://tracing /
-    Perfetto) with one track per learner/server; ``--metrics`` writes the
-    observability registry (counters/gauges/histograms) as JSON;
-    ``--profile`` prints a flame-style phase table.  A run manifest
-    (config, seed, git rev, wall+virtual duration) is written next to every
-    ``--save`` result, or wherever ``--manifest`` points.
+    ``--jobs N`` fans independent grid points (e.g. each ``p``) out over N
+    worker processes — results are bit-identical to ``--jobs 1``; with
+    ``--cache-dir`` completed points are memoised on disk so interrupted
+    sweeps resume for free.  ``--trace`` writes a Chrome trace-event file
+    (chrome://tracing / Perfetto) with one track per learner/server;
+    ``--metrics`` writes the observability registry (counters/gauges/
+    histograms) as JSON; ``--profile`` prints a flame-style phase table.  A
+    run manifest (config, seed, git rev, wall+virtual duration) is written
+    next to every ``--save`` result, or wherever ``--manifest`` points.
+bench [--quick] [--out FILE] [--check BASELINE] [--threshold X]
+    Time the substrate hot paths (conv2d forward/backward vs the legacy
+    kernels, temporal conv, im2col/col2im, optimiser steps, one SASGD
+    interval, one small end-to-end experiment) and write a
+    ``BENCH_<git-rev>.json`` baseline.  ``--check`` compares against a saved
+    baseline and exits non-zero when any bench is more than ``--threshold``
+    (default 2.0) times slower.
 claims
     Print every experiment's paper claim — the checklist EXPERIMENTS.md
     verifies.
@@ -52,10 +62,31 @@ def _cmd_run(args, parser) -> int:
         key, _, value = item.partition("=")
         kwargs[key.strip()] = _parse_value(value.strip())
 
+    jobs = args.jobs
+    if jobs != 1 and (args.trace or args.metrics or args.profile):
+        print(
+            "note: --trace/--metrics/--profile observe only the parent process; "
+            "falling back to --jobs 1 so the whole run is instrumented",
+            file=sys.stderr,
+        )
+        jobs = 1
+
     want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
     session = obs.ObsSession(trace=bool(args.trace or args.profile))
     t0 = time.perf_counter()
-    if want_obs:
+    if jobs != 1 or args.cache_dir is not None:
+        from .harness.parallel import run_experiment_parallel
+
+        if want_obs:
+            with obs.observe(session):
+                result = run_experiment_parallel(
+                    args.exp_id, jobs=jobs, cache_dir=args.cache_dir, **kwargs
+                )
+        else:
+            result = run_experiment_parallel(
+                args.exp_id, jobs=jobs, cache_dir=args.cache_dir, **kwargs
+            )
+    elif want_obs:
         with obs.observe(session):
             result = run_experiment(args.exp_id, **kwargs)
     else:
@@ -92,6 +123,39 @@ def _cmd_run(args, parser) -> int:
             prof.ingest_spans(run.spans)
         print()
         print(prof.format_flame())
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .harness.bench import (
+        compare_to_baseline,
+        default_bench_path,
+        format_bench,
+        load_bench,
+        run_benchmarks,
+        save_bench,
+    )
+
+    doc = run_benchmarks(
+        quick=args.quick, include_experiment=not args.no_experiment
+    )
+    print(format_bench(doc))
+    out = Path(args.out) if args.out else default_bench_path(doc)
+    save_bench(doc, out)
+    print(f"\nbaseline written to {out}")
+
+    if args.check:
+        try:
+            baseline = load_bench(args.check)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"cannot load baseline {args.check}: {exc}", file=sys.stderr)
+            return 1
+        ok, messages = compare_to_baseline(doc, baseline, args.threshold)
+        print(f"\nregression check vs {args.check} (threshold {args.threshold}x):")
+        for line in messages:
+            print(f"  {line}")
+        if not ok:
+            return 1
     return 0
 
 
@@ -213,6 +277,48 @@ def main(argv=None) -> int:
         action="store_true",
         help="print a flame-style table of per-phase virtual time",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for independent grid points (0 = all cores)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="memoise completed grid points here (resume interrupted sweeps)",
+    )
+
+    bench_p = sub.add_parser(
+        "bench", help="run substrate microbenchmarks, write a BENCH_<rev>.json"
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true", help="fewer reps (CI smoke mode)"
+    )
+    bench_p.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: BENCH_<git-rev>.json in the cwd)",
+    )
+    bench_p.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help="compare against this baseline; exit 1 on regression",
+    )
+    bench_p.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="regression factor for --check (default: 2.0)",
+    )
+    bench_p.add_argument(
+        "--no-experiment",
+        action="store_true",
+        help="skip the end-to-end experiment bench (kernels only)",
+    )
 
     ins_p = sub.add_parser("inspect", help="summarise a result/metrics/trace/manifest file")
     ins_p.add_argument("path")
@@ -238,6 +344,9 @@ def main(argv=None) -> int:
 
     if args.command == "inspect":
         return _cmd_inspect(args.path)
+
+    if args.command == "bench":
+        return _cmd_bench(args)
 
     return _cmd_run(args, parser)
 

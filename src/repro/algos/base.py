@@ -161,6 +161,9 @@ def evaluate_model(
             correct += accuracy(logits, yb) * len(idx)
     finally:
         model.train()
+        # eval batches are larger than train batches; drop the eval-sized
+        # pooled scratch so peak memory returns to the training footprint
+        model.release_buffers()
     return correct / n, total_loss / n
 
 

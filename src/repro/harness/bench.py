@@ -1,0 +1,362 @@
+"""Substrate microbenchmarks and persisted performance baselines.
+
+``repro bench`` times the hot kernels the trainers spend their lives in —
+Conv2d forward/backward at the bench CIFAR shape, the temporal (1-D)
+convolution, im2col/col2im, optimiser steps over flat parameters, one SASGD
+aggregation interval — plus one small end-to-end figure experiment, and
+writes the numbers to ``BENCH_<git-rev>.json``.
+
+The optimised conv kernels are timed **against the verbatim pre-optimisation
+code paths** preserved in :mod:`repro.nn.reference`, so the reported speedup
+factors are honest "vs the code this PR replaced" numbers rather than vs a
+strawman.  A committed baseline file plus :func:`compare_to_baseline` gives
+CI a cheap regression tripwire: wall-clock on shared runners is noisy, so
+the default threshold is a generous 2×.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "run_benchmarks",
+    "save_bench",
+    "load_bench",
+    "default_bench_path",
+    "compare_to_baseline",
+    "format_bench",
+]
+
+BENCH_SCHEMA = "repro-bench/1"
+
+# The bench CIFAR-10 conv shape (benchmarks/test_microbench_substrate.py and
+# the ISSUE acceptance criterion both pin this): 3×3 conv, padding 1, on a
+# 16-sample batch of 16×16×16 feature maps.
+_CONV_N, _CONV_C, _CONV_F, _CONV_HW, _CONV_K, _CONV_PAD = 16, 16, 32, 16, 3, 1
+
+
+def _time(fn: Callable[[], object], reps: int, warmup: int = 2) -> Tuple[float, int]:
+    """Best-of-``reps`` seconds per call (min is robust to scheduler noise)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, reps
+
+
+def _entry(seconds: float, reps: int, **extra) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "seconds": seconds,
+        "ops_per_sec": (1.0 / seconds) if seconds > 0 else float("inf"),
+        "reps": reps,
+    }
+    out.update(extra)
+    return out
+
+
+# --------------------------------------------------------------------------
+# individual benchmarks
+# --------------------------------------------------------------------------
+
+
+def _bench_conv2d(reps: int) -> Dict[str, Dict[str, object]]:
+    from ..nn.conv import Conv2d
+    from ..nn.reference import conv2d_backward_legacy, conv2d_forward_legacy
+
+    rng = np.random.default_rng(0)
+    conv = Conv2d(_CONV_C, _CONV_F, _CONV_K, padding=_CONV_PAD, rng=rng)
+    x = rng.standard_normal(
+        (_CONV_N, _CONV_C, _CONV_HW, _CONV_HW), dtype=np.float32
+    )
+    y = conv.forward(x)
+    gout = rng.standard_normal(y.shape, dtype=np.float32)
+    shape = {"x_shape": list(x.shape), "filters": _CONV_F, "kernel": _CONV_K}
+
+    fwd_s, fwd_r = _time(lambda: conv.forward(x), reps)
+
+    def fast_step() -> None:
+        conv.zero_grad()
+        conv.forward(x)
+        conv.backward(gout)
+
+    fb_s, fb_r = _time(fast_step, reps)
+
+    w, b = conv.weight.data, conv.bias.data if conv.bias is not None else None
+
+    def legacy_step() -> None:
+        yl, col = conv2d_forward_legacy(x, w, b, stride=1, pad=_CONV_PAD)
+        conv2d_backward_legacy(col, x.shape, w, gout, stride=1, pad=_CONV_PAD)
+
+    lg_s, lg_r = _time(legacy_step, reps)
+
+    return {
+        "conv2d_forward": _entry(fwd_s, fwd_r, **shape),
+        "conv2d_forward_backward": _entry(fb_s, fb_r, **shape),
+        "conv2d_forward_backward_legacy": _entry(lg_s, lg_r, **shape),
+    }
+
+
+def _bench_im2col(reps: int) -> Dict[str, Dict[str, object]]:
+    from ..nn.bufferpool import BufferPool
+    from ..nn.functional import conv_plan
+
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(
+        (_CONV_N, _CONV_C, _CONV_HW, _CONV_HW), dtype=np.float32
+    )
+    plan = conv_plan(*x.shape, _CONV_K, _CONV_K, 1, _CONV_PAD)
+    pool = BufferPool()
+    col = plan.extract(x, pool)
+    gcol = np.ascontiguousarray(col)
+
+    i2c_s, i2c_r = _time(lambda: plan.extract(x, pool), reps)
+    c2i_s, c2i_r = _time(lambda: plan.fold(gcol, pool), reps)
+    return {
+        "im2col_plan": _entry(i2c_s, i2c_r, x_shape=list(x.shape)),
+        "col2im_plan": _entry(c2i_s, c2i_r, x_shape=list(x.shape)),
+    }
+
+
+def _bench_temporal(reps: int) -> Dict[str, Dict[str, object]]:
+    from ..nn.reference import (
+        temporal_conv_backward_legacy,
+        temporal_conv_forward_legacy,
+    )
+    from ..nn.temporal import TemporalConvolution
+
+    rng = np.random.default_rng(2)
+    n, ell, cin, cout, kw = 32, 256, 64, 64, 5
+    tc = TemporalConvolution(cin, cout, kw, rng=rng)
+    x = rng.standard_normal((n, ell, cin), dtype=np.float32)
+    y = tc.forward(x)
+    gout = rng.standard_normal(y.shape, dtype=np.float32)
+    shape = {"x_shape": [n, ell, cin], "cout": cout, "kw": kw}
+
+    def fast_step() -> None:
+        tc.zero_grad()
+        tc.forward(x)
+        tc.backward(gout)
+
+    fb_s, fb_r = _time(fast_step, reps)
+
+    w = tc.weight.data
+    b = tc.bias.data if tc.bias is not None else None
+
+    def legacy_step() -> None:
+        yl, col = temporal_conv_forward_legacy(x, w, b, kw)
+        temporal_conv_backward_legacy(col, x.shape, w, gout, kw)
+
+    lg_s, lg_r = _time(legacy_step, reps)
+    return {
+        "temporal_conv_forward_backward": _entry(fb_s, fb_r, **shape),
+        "temporal_conv_forward_backward_legacy": _entry(lg_s, lg_r, **shape),
+    }
+
+
+def _bench_sgd(reps: int) -> Dict[str, Dict[str, object]]:
+    from ..nn.models import build_cifar10_cnn
+    from ..nn.module import flatten_module
+    from ..nn.optim import SGD, MomentumSGD
+
+    rng = np.random.default_rng(3)
+    model, _, _ = build_cifar10_cnn(width=0.25, rng=rng)
+    flat = flatten_module(model)
+    flat.grad[...] = rng.standard_normal(flat.size).astype(flat.grad.dtype)
+    dim = {"dim": int(flat.size)}
+
+    sgd = SGD(flat, lr=1e-4, weight_decay=1e-4)
+    sgd_s, sgd_r = _time(sgd.step, reps)
+
+    msgd = MomentumSGD(flat, lr=1e-4, momentum=0.9, nesterov=True)
+    msgd_s, msgd_r = _time(msgd.step, reps)
+    return {
+        "sgd_step": _entry(sgd_s, sgd_r, **dim),
+        "momentum_sgd_step": _entry(msgd_s, msgd_r, **dim),
+    }
+
+
+def _bench_sasgd_interval(reps: int) -> Dict[str, Dict[str, object]]:
+    """One full Alg.-1 aggregation interval (p learners × T local steps) on a
+    synthetic quadratic, via the serial reference executor."""
+    from ..core.sasgd import SASGDConfig, reference_sasgd
+    from ..nn.module import FlatParams
+
+    rng = np.random.default_rng(4)
+    dim, p, T = 100_000, 4, 8
+    config = SASGDConfig(T=T, p=p, gamma=1e-3, gamma_p=1e-3 / p)
+    target = rng.standard_normal(dim)
+    x0 = rng.standard_normal(dim)
+
+    flats = []
+    grad_fns = []
+    for _ in range(p):
+        flat = FlatParams(data=x0.copy(), grad=np.zeros(dim), params=[])
+        flats.append(flat)
+
+        def grad_fn(step: int, flat=flat) -> None:
+            np.subtract(flat.data, target, out=flat.grad)
+
+        grad_fns.append(grad_fn)
+
+    def interval() -> None:
+        reference_sasgd(flats, grad_fns, config, n_intervals=1, x0=x0)
+
+    s, r = _time(interval, reps)
+    return {
+        "sasgd_interval": _entry(
+            s, r, dim=dim, p=p, T=T, grads_per_interval=p * T
+        )
+    }
+
+
+def _bench_experiment() -> Dict[str, Dict[str, object]]:
+    """End-to-end wall time for one small figure experiment (unit scale)."""
+    from .experiments import run_experiment
+
+    kwargs = dict(p_values=(1, 2), epochs=1, seed=5, eval_every=1, scale="unit")
+    t0 = time.perf_counter()
+    result = run_experiment("fig2", **kwargs)
+    seconds = time.perf_counter() - t0
+    return {
+        "experiment_fig2_unit": _entry(
+            seconds, 1, rows=len(result.rows), kwargs={k: list(v) if isinstance(v, tuple) else v for k, v in kwargs.items()}
+        )
+    }
+
+
+# --------------------------------------------------------------------------
+# suite driver, serialisation, regression check
+# --------------------------------------------------------------------------
+
+
+def run_benchmarks(quick: bool = False, include_experiment: bool = True) -> Dict[str, object]:
+    """Run the full suite; returns the BENCH document (a plain dict)."""
+    from ..obs.manifest import git_revision
+
+    reps = 5 if quick else 20
+    benches: Dict[str, Dict[str, object]] = {}
+    benches.update(_bench_conv2d(reps))
+    benches.update(_bench_im2col(reps))
+    benches.update(_bench_temporal(reps))
+    benches.update(_bench_sgd(reps))
+    benches.update(_bench_sasgd_interval(max(3, reps // 2)))
+    if include_experiment:
+        benches.update(_bench_experiment())
+
+    derived: Dict[str, float] = {}
+
+    def ratio(slow: str, fast: str) -> Optional[float]:
+        a, b = benches.get(slow), benches.get(fast)
+        if not a or not b or not b["seconds"]:
+            return None
+        return float(a["seconds"]) / float(b["seconds"])
+
+    r = ratio("conv2d_forward_backward_legacy", "conv2d_forward_backward")
+    if r is not None:
+        derived["conv2d_speedup_vs_legacy"] = round(r, 3)
+    r = ratio(
+        "temporal_conv_forward_backward_legacy", "temporal_conv_forward_backward"
+    )
+    if r is not None:
+        derived["temporal_speedup_vs_legacy"] = round(r, 3)
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "benches": benches,
+        "derived": derived,
+    }
+
+
+def default_bench_path(doc: Dict[str, object]) -> Path:
+    rev = doc.get("git_rev") or "unknown"
+    return Path(f"BENCH_{str(rev)[:12]}.json")
+
+
+def save_bench(doc: Dict[str, object], path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, object]:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r} != {BENCH_SCHEMA!r}"
+        )
+    return doc
+
+
+def compare_to_baseline(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 2.0,
+) -> Tuple[bool, List[str]]:
+    """Flag benches where current is more than ``threshold``× the baseline.
+
+    Only benchmarks present in both documents are compared; the end-to-end
+    experiment bench is included like any other.  Returns ``(ok, messages)``
+    where messages describe every comparison (regressions prefixed FAIL).
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold}")
+    cur = current.get("benches", {})
+    base = baseline.get("benches", {})
+    ok = True
+    messages: List[str] = []
+    for name in sorted(set(cur) & set(base)):
+        c, b = float(cur[name]["seconds"]), float(base[name]["seconds"])
+        if b <= 0:
+            continue
+        rel = c / b
+        if rel > threshold:
+            ok = False
+            messages.append(
+                f"FAIL {name}: {c * 1e3:.3f} ms vs baseline {b * 1e3:.3f} ms "
+                f"({rel:.2f}x > {threshold:.2f}x)"
+            )
+        else:
+            messages.append(
+                f"ok   {name}: {c * 1e3:.3f} ms vs baseline {b * 1e3:.3f} ms ({rel:.2f}x)"
+            )
+    if not messages:
+        ok = False
+        messages.append("FAIL no common benchmarks between current and baseline")
+    return ok, messages
+
+
+def format_bench(doc: Dict[str, object]) -> str:
+    lines = [
+        f"bench @ {doc.get('git_rev') or '(no rev)'}  "
+        f"python {doc.get('python')}  numpy {doc.get('numpy')}  "
+        f"cores {doc.get('cpu_count')}"
+        + ("  [quick]" if doc.get("quick") else "")
+    ]
+    lines.append(f"{'benchmark':<40} {'ms/op':>10} {'ops/sec':>12}")
+    for name, entry in sorted(doc.get("benches", {}).items()):
+        lines.append(
+            f"{name:<40} {float(entry['seconds']) * 1e3:>10.3f} "
+            f"{float(entry['ops_per_sec']):>12.2f}"
+        )
+    derived = doc.get("derived") or {}
+    for name, value in sorted(derived.items()):
+        lines.append(f"{name:<40} {value:>10.2f}x")
+    return "\n".join(lines)

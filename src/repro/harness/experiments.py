@@ -83,6 +83,7 @@ def experiment(exp_id: str, title: str, paper_claim: str):
 
         run.__name__ = fn.__name__
         run.__doc__ = fn.__doc__
+        run.__wrapped__ = fn  # expose the signature (grid defaults) to the parallel runner
         EXPERIMENTS[exp_id] = run
         return run
 

@@ -1,0 +1,312 @@
+"""Parallel experiment grid runner with a content-addressed disk cache.
+
+The figure reproductions sweep grids of ``(algorithm, p, T, γp)`` whose
+points are completely independent — the classic embarrassingly parallel
+shape.  This module fans those points out across a ``ProcessPoolExecutor``,
+streams results back **in deterministic submission order**, and memoises
+every completed point on disk under a hash of its exact configuration, so
+re-runs (and ``examples/run_all_experiments.py``) resume for free.
+
+Determinism
+-----------
+A grid point is ``(exp_id, kwargs)`` and every experiment derives all of its
+randomness from the ``seed`` kwarg, so a point's result is a pure function
+of its configuration: running it in a worker process is bit-identical to
+running it inline, and ``jobs=4`` produces exactly the rows of ``jobs=1``.
+
+Splitting
+---------
+``SPLIT_AXES`` names, per experiment, the sweep axes whose loop is the
+*outermost* iteration of that experiment's body (in nesting order).  For
+those experiments a full-grid call decomposes into single-point calls whose
+concatenated rows/series are identical to the one-shot run — each point
+rebuilds its problem from the same ``seed``, which is exactly what the
+serial loop body does.  Experiments not listed (e.g. ``fig4`` with its
+shared sequential-baseline row) run as a single point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+import json
+import multiprocessing
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
+from .serialization import result_from_dict, result_to_dict
+
+__all__ = [
+    "SPLIT_AXES",
+    "CACHE_VERSION",
+    "GridPoint",
+    "ResultCache",
+    "config_key",
+    "expand_grid",
+    "merge_results",
+    "run_grid",
+    "iter_grid",
+    "run_experiment_parallel",
+]
+
+# Sweep axes that form the outermost loop(s) of each experiment body, in
+# nesting order.  Only experiments whose rows/series are a pure concatenation
+# over these axes belong here.
+SPLIT_AXES: Dict[str, Tuple[str, ...]] = {
+    "fig2": ("p_values",),
+    "fig3": ("p_values",),
+    "fig7": ("p_values", "T_values"),
+    "fig8": ("p_values", "T_values"),
+    "fig9": ("p_values",),
+    "fig10": ("p_values",),
+}
+
+# Bump when a change invalidates previously cached results (algorithm or
+# serialisation semantics, not docs).
+CACHE_VERSION = 1
+
+GridPoint = Tuple[str, dict]
+
+
+def _canonical(obj):
+    """JSON-stable form: tuples become lists, keys sort, numpy scalars cast."""
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if hasattr(obj, "item"):  # numpy scalar
+        return obj.item()
+    return obj
+
+
+def config_key(exp_id: str, kwargs: dict) -> str:
+    """Content hash of one grid point (the cache key)."""
+    blob = json.dumps(
+        {"v": CACHE_VERSION, "exp_id": exp_id, "kwargs": _canonical(kwargs)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+class ResultCache:
+    """One JSON file per completed grid point, keyed by config hash."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[ExperimentResult]:
+        path = self.path(key)
+        try:
+            data = json.loads(path.read_text())
+            result = result_from_dict(data["result"])
+        except (OSError, KeyError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, exp_id: str, kwargs: dict, result: ExperimentResult) -> None:
+        payload = json.dumps(
+            {
+                "key": key,
+                "exp_id": exp_id,
+                "kwargs": _canonical(kwargs),
+                "result": result_to_dict(result),
+            },
+            indent=2,
+        )
+        # atomic publish: a concurrent reader never sees a half-written file
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+
+def _grid_defaults(exp_id: str) -> dict:
+    """Default kwarg values of the experiment's underlying function."""
+    fn = EXPERIMENTS[exp_id]
+    wrapped = getattr(fn, "__wrapped__", fn)
+    out = {}
+    for name, param in inspect.signature(wrapped).parameters.items():
+        if param.default is not inspect.Parameter.empty:
+            out[name] = param.default
+    return out
+
+
+def expand_grid(exp_id: str, kwargs: dict) -> List[dict]:
+    """Decompose one experiment call into independent single-point kwargs.
+
+    Returns ``[kwargs]`` unchanged when the experiment has no registered
+    split axes.  Otherwise each registered axis (taken from ``kwargs`` or the
+    experiment's signature default) is narrowed to a one-element tuple and
+    the cartesian product is emitted in loop-nesting order, so concatenating
+    the sub-results reproduces the serial iteration order exactly.
+    """
+    axes = SPLIT_AXES.get(exp_id)
+    if not axes:
+        return [dict(kwargs)]
+    defaults = _grid_defaults(exp_id)
+    axis_values: List[Tuple[str, Sequence]] = []
+    for axis in axes:
+        values = kwargs.get(axis, defaults.get(axis))
+        if values is None or not isinstance(values, (list, tuple)):
+            return [dict(kwargs)]
+        axis_values.append((axis, tuple(values)))
+    points = []
+    for combo in itertools.product(*(vals for _, vals in axis_values)):
+        sub = dict(kwargs)
+        for (axis, _), value in zip(axis_values, combo):
+            sub[axis] = (value,)
+        points.append(sub)
+    return points
+
+
+def merge_results(exp_id: str, parts: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Concatenate split-point results back into one ExperimentResult."""
+    if not parts:
+        raise ValueError("nothing to merge")
+    if len(parts) == 1:
+        return parts[0]
+    rows: List[dict] = []
+    series: Dict[str, list] = {}
+    notes = ""
+    for part in parts:
+        rows.extend(part.rows)
+        for name, pts in part.series.items():
+            if name in series:
+                raise ValueError(f"split produced duplicate series {name!r}")
+            series[name] = pts
+        if not notes and part.notes:
+            notes = part.notes
+    first = parts[0]
+    return ExperimentResult(
+        exp_id=first.exp_id,
+        title=first.title,
+        paper_claim=first.paper_claim,
+        rows=rows,
+        series=series,
+        notes=notes,
+    )
+
+
+def _run_point(exp_id: str, kwargs: dict) -> dict:
+    """Worker entry: run one grid point, return the serialised result."""
+    return result_to_dict(run_experiment(exp_id, **kwargs))
+
+
+def _resolve_jobs(jobs: int) -> int:
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1 (or 0 for all cores), got {jobs}")
+    return jobs
+
+
+def iter_grid(
+    points: Sequence[GridPoint],
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    mp_context: Optional[str] = None,
+) -> Iterator[Tuple[int, ExperimentResult]]:
+    """Run grid points, yielding ``(index, result)`` in submission order.
+
+    ``jobs=1`` runs inline (no pool); ``jobs=0`` means one worker per core.
+    With ``cache_dir`` set, cached points are served from disk and fresh
+    completions are written back immediately, so an interrupted sweep resumes
+    where it stopped.
+    """
+    jobs = _resolve_jobs(jobs)
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    keys = [config_key(exp_id, kwargs) for exp_id, kwargs in points]
+
+    results: Dict[int, ExperimentResult] = {}
+    pending: List[int] = []
+    for i, key in enumerate(keys):
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+        else:
+            pending.append(i)
+
+    def finish(i: int, result: ExperimentResult) -> ExperimentResult:
+        if cache is not None:
+            cache.put(keys[i], points[i][0], points[i][1], result)
+        return result
+
+    if not pending:
+        for i in range(len(points)):
+            yield i, results[i]
+        return
+
+    if jobs == 1:
+        for i in range(len(points)):
+            if i in results:
+                yield i, results[i]
+            else:
+                exp_id, kwargs = points[i]
+                yield i, finish(i, run_experiment(exp_id, **kwargs))
+        return
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    ctx = multiprocessing.get_context(
+        mp_context if mp_context is not None else ("fork" if os.name == "posix" else "spawn")
+    )
+    with ProcessPoolExecutor(max_workers=min(jobs, len(pending)), mp_context=ctx) as pool:
+        futures = {i: pool.submit(_run_point, *points[i]) for i in pending}
+        for i in range(len(points)):
+            if i in results:
+                yield i, results[i]
+            else:
+                yield i, finish(i, result_from_dict(futures[i].result()))
+
+
+def run_grid(
+    points: Sequence[GridPoint],
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    mp_context: Optional[str] = None,
+) -> List[ExperimentResult]:
+    """Like :func:`iter_grid` but collects into a list (input order)."""
+    out: List[Optional[ExperimentResult]] = [None] * len(points)
+    for i, result in iter_grid(points, jobs=jobs, cache_dir=cache_dir, mp_context=mp_context):
+        out[i] = result
+    return out  # type: ignore[return-value]
+
+
+def run_experiment_parallel(
+    exp_id: str,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    mp_context: Optional[str] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Drop-in ``run_experiment`` that splits, fans out, caches, and merges."""
+    if exp_id not in EXPERIMENTS:
+        raise ValueError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    sub_kwargs = expand_grid(exp_id, kwargs)
+    parts = run_grid(
+        [(exp_id, sub) for sub in sub_kwargs],
+        jobs=jobs,
+        cache_dir=cache_dir,
+        mp_context=mp_context,
+    )
+    return merge_results(exp_id, parts)

@@ -7,9 +7,10 @@ the distributed algorithms broadcast and allreduce.
 
 from .activations import Flatten, ReLU, Tanh
 from .avgpool import AvgPool2d, GlobalAvgPool2d
+from .bufferpool import BufferPool, pooling_enabled, set_pooling
 from .conv import Conv2d
 from .dropout import Dropout
-from .functional import col2im, im2col, log_softmax, one_hot, softmax
+from .functional import ConvPlan, col2im, conv_plan, im2col, log_softmax, one_hot, softmax
 from .gradcheck import gradcheck_module, numeric_gradient
 from .linear import Linear
 from .loss import CrossEntropyLoss, accuracy
@@ -29,7 +30,9 @@ from .temporal import MaxOverTime, TemporalConvolution, TemporalMaxPooling
 __all__ = [
     "CIFAR10_INPUT_SHAPE",
     "AvgPool2d",
+    "BufferPool",
     "Conv2d",
+    "ConvPlan",
     "CrossEntropyLoss",
     "Dropout",
     "FlatParams",
@@ -56,11 +59,14 @@ __all__ = [
     "build_nlcf_net",
     "clip_grad_norm_",
     "col2im",
+    "conv_plan",
     "flatten_module",
     "gradcheck_module",
     "im2col",
     "log_softmax",
     "numeric_gradient",
     "one_hot",
+    "pooling_enabled",
+    "set_pooling",
     "softmax",
 ]

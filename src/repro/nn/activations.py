@@ -6,28 +6,44 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .bufferpool import BufferPool
 from .module import Module
 
 __all__ = ["ReLU", "Tanh", "Flatten"]
 
 
 class ReLU(Module):
-    """Rectified linear unit (used after every CIFAR-10 conv layer)."""
+    """Rectified linear unit (used after every CIFAR-10 conv layer).
+
+    Mask, activation, and gradient buffers come from a per-module pool and
+    are reused across steps.
+    """
 
     def __init__(self) -> None:
         super().__init__()
+        self._pool = BufferPool()
         self._mask: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+        mask = self._pool.get("mask", x.shape, np.bool_)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        y = self._pool.get("y", x.shape, x.dtype)
+        np.multiply(x, mask, out=y)
+        return y
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         mask = self._mask
         if mask is None:
             raise RuntimeError("backward before forward")
         self._mask = None
-        return grad_out * mask
+        gx = self._pool.get("gx", grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, mask, out=gx)
+        return gx
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._mask = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return in_shape
@@ -41,10 +57,12 @@ class Tanh(Module):
 
     def __init__(self) -> None:
         super().__init__()
+        self._pool = BufferPool()
         self._y: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        y = np.tanh(x)
+        y = self._pool.get("y", x.shape, np.result_type(x.dtype, np.float32))
+        np.tanh(x, out=y)
         self._y = y
         return y
 
@@ -53,7 +71,15 @@ class Tanh(Module):
         if y is None:
             raise RuntimeError("backward before forward")
         self._y = None
-        return grad_out * (1.0 - y * y)
+        gx = self._pool.get("gx", grad_out.shape, np.result_type(grad_out, y))
+        np.multiply(y, y, out=gx)
+        np.subtract(1.0, gx, out=gx)
+        np.multiply(gx, grad_out, out=gx)
+        return gx
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._y = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         return in_shape

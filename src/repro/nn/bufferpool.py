@@ -1,0 +1,89 @@
+"""Reusable scratch buffers for the layer hot paths.
+
+Every training step of the pure-NumPy layers used to allocate its large
+temporaries (im2col matrices, GEMM outputs, gradient scatter buffers) from
+scratch, so a convergence run spent a measurable slice of wall-clock in the
+allocator and kept the peak RSS high.  A :class:`BufferPool` gives each
+module a small named set of buffers that are handed out again on the next
+step whenever shape and dtype match.
+
+Contract
+--------
+* Buffers returned by ``get`` contain garbage; callers must overwrite (or
+  use ``zeros``).
+* An array obtained from a module's pool — including layer *outputs* and
+  *input gradients* built on pooled storage — is only valid until that
+  module's next ``forward``/``backward`` call.  The training loops consume
+  layer outputs immediately (``Sequential`` chains them straight into the
+  next layer), so this is invisible there; code that must retain a layer
+  output across steps should ``copy()`` it or disable pooling.
+* :func:`set_pooling` is a global kill-switch (useful when debugging
+  aliasing): with pooling off, ``get`` degenerates to ``np.empty``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool", "pooling_enabled", "set_pooling"]
+
+_ENABLED = True
+
+
+def pooling_enabled() -> bool:
+    """Whether pools reuse storage (the default) or allocate fresh arrays."""
+    return _ENABLED
+
+
+def set_pooling(enabled: bool) -> bool:
+    """Enable/disable buffer reuse globally; returns the previous setting."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+class BufferPool:
+    """Named scratch buffers, reused across calls when shape/dtype match.
+
+    One buffer lives under each name: requesting the same name with a
+    different shape or dtype drops the old buffer and allocates a new one
+    (so a pool never holds more than one array per name — e.g. an eval-batch
+    im2col does not stay alive alongside the train-batch one).
+    """
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, np.ndarray] = {}
+
+    def get(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A buffer of ``shape``/``dtype``; contents are unspecified."""
+        if not _ENABLED:
+            return np.empty(shape, dtype)
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape != tuple(shape) or buf.dtype != np.dtype(dtype):
+            buf = np.empty(shape, dtype)
+            self._bufs[name] = buf
+        return buf
+
+    def zeros(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """Like :meth:`get` but zero-filled."""
+        buf = self.get(name, shape, dtype)
+        buf[...] = 0
+        return buf
+
+    def release(self) -> None:
+        """Drop every held buffer (frees the memory)."""
+        self._bufs.clear()
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._bufs
+
+    def __len__(self) -> int:
+        return len(self._bufs)

@@ -1,4 +1,4 @@
-"""2-D convolution (im2col + GEMM)."""
+"""2-D convolution (im2col + GEMM) on the cached-plan, pooled-buffer path."""
 
 from __future__ import annotations
 
@@ -6,7 +6,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from .functional import col2im, conv2d_output_hw, im2col
+from .bufferpool import BufferPool
+from .functional import ConvPlan, conv2d_output_hw, conv_plan
 from .init import torch_uniform_
 from .module import Module, Parameter
 
@@ -20,6 +21,15 @@ class Conv2d(Module):
     ``Conv2d(nfeat, nkern, (height, width))``.  Padding defaults keep the
     CIFAR-10 stack's parameter count at the paper's ~0.5 M (see
     :func:`repro.nn.models.build_cifar10_cnn`).
+
+    Hot-path layout: patches are gathered through a cached
+    :class:`~repro.nn.functional.ConvPlan` into the channel-major GEMM matrix
+    ``(N, C*kh*kw, OH*OW)``, so forward is a single ``W @ col`` batched GEMM
+    that lands directly in NCHW, and backward's input gradient and scatter-add
+    reuse the same layout.  All large temporaries (padded input, col, output,
+    gradient buffers) come from a per-module :class:`BufferPool` and are
+    reused across steps; the im2col buffer is handed back for reuse as soon
+    as ``backward`` consumes it, so it is never retained between steps.
     """
 
     def __init__(
@@ -58,41 +68,52 @@ class Conv2d(Module):
             self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
         else:
             self.bias = None
+        self._pool = BufferPool()
         self._col: Optional[np.ndarray] = None
-        self._x_shape: Optional[Tuple[int, int, int, int]] = None
+        self._plan: Optional[ConvPlan] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         if c != self.in_channels:
             raise ValueError(f"expected {self.in_channels} channels, got {c}")
-        oh, ow = conv2d_output_hw(h, w, self.kh, self.kw, self.stride, self.padding)
-        col = im2col(x, self.kh, self.kw, self.stride, self.padding)
+        plan = conv_plan(n, c, h, w, self.kh, self.kw, self.stride, self.padding)
+        col = plan.extract(x, pool=self._pool)  # (N, K, P) channel-major
         self._col = col
-        self._x_shape = x.shape
+        self._plan = plan
         wmat = self.weight.data.reshape(self.out_channels, -1)
-        y = col @ wmat.T  # (N, OH*OW, F)
+        out_dtype = np.result_type(wmat.dtype, col.dtype)
+        y = self._pool.get("y", (n, self.out_channels, plan.p), out_dtype)
+        np.matmul(wmat, col, out=y)  # (F, K) @ (N, K, P) -> (N, F, P)
         if self.bias is not None:
-            y += self.bias.data
-        return np.ascontiguousarray(
-            y.transpose(0, 2, 1).reshape(n, self.out_channels, oh, ow)
-        )
+            y += self.bias.data[:, None]
+        return y.reshape(n, self.out_channels, plan.oh, plan.ow)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        col, x_shape = self._col, self._x_shape
-        if col is None or x_shape is None:
+        col, plan = self._col, self._plan
+        if col is None or plan is None:
             raise RuntimeError("backward before forward")
-        self._col = None
-        self._x_shape = None
-        n, f, oh, ow = grad_out.shape
-        gomat = grad_out.reshape(n, f, oh * ow).transpose(0, 2, 1)  # (N, OH*OW, F)
-        wmat = self.weight.data.reshape(self.out_channels, -1)
-        # weight grad: sum over batch of gomat^T @ col
-        gw = np.einsum("nif,nik->fk", gomat, col, optimize=True)
+        self._col = None  # the buffer goes back to the pool, not kept alive here
+        self._plan = None
+        n, f = plan.n, self.out_channels
+        gof = grad_out.reshape(n, f, plan.p)
+        wmat = self.weight.data.reshape(f, -1)
+        out_dtype = np.result_type(wmat.dtype, gof.dtype)
+        # weight grad: per-example GEMMs summed over the batch
+        gw3 = self._pool.get("gw3", (n, f, plan.k), out_dtype)
+        np.matmul(gof, col.transpose(0, 2, 1), out=gw3)
+        gw = self._pool.get("gw", (f, plan.k), out_dtype)
+        gw3.sum(axis=0, out=gw)
         self.weight.grad += gw.reshape(self.weight.data.shape)
         if self.bias is not None:
-            self.bias.grad += grad_out.sum(axis=(0, 2, 3))
-        gcol = gomat @ wmat  # (N, OH*OW, C*kh*kw)
-        return col2im(gcol, x_shape, self.kh, self.kw, self.stride, self.padding)
+            self.bias.grad += gof.sum(axis=(0, 2))
+        gcol = self._pool.get("gcol", col.shape, out_dtype)
+        np.matmul(wmat.T, gof, out=gcol)  # (K, F) @ (N, F, P) -> (N, K, P)
+        return plan.fold(gcol, pool=self._pool)
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._col = None
+        self._plan = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = in_shape

@@ -3,16 +3,34 @@
 im2col/col2im are the workhorses: convolution becomes one GEMM per batch,
 which is both the fast way to do it in NumPy (guide rule: replace loops with
 matmul) and faithful to how the GPU frameworks the paper used implement it.
+
+Two layouts exist:
+
+* The public :func:`im2col`/:func:`col2im` pair keeps the historical
+  row-major layout ``(N, OH*OW, C*kh*kw)`` — the natural shape for
+  ``col @ W.T`` — and is what the equivalence tests pin down.
+* :class:`ConvPlan` (what :class:`~repro.nn.conv.Conv2d` actually runs) uses
+  the channel-major layout ``(N, C*kh*kw, OH*OW)``: patches are read through
+  a zero-copy ``as_strided`` window view straight into that order, so the
+  forward GEMM ``W @ col`` lands directly in NCHW without a transpose, the
+  backward input-gradient GEMM does too, and the col2im scatter-add walks
+  contiguous rows.  Plans are cached per ``(shape, kernel, stride, pad)`` so
+  the slice bookkeeping is computed once per distinct geometry per process.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from functools import lru_cache
+from typing import Optional, Tuple
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+from numpy.lib.stride_tricks import as_strided, sliding_window_view
+
+from .bufferpool import BufferPool
 
 __all__ = [
+    "ConvPlan",
+    "conv_plan",
     "conv2d_output_hw",
     "im2col",
     "col2im",
@@ -36,10 +54,115 @@ def conv2d_output_hw(
     return oh, ow
 
 
+class ConvPlan:
+    """Precomputed geometry for one conv configuration.
+
+    Holds the padded shape, the strided-window recipe for zero-copy patch
+    extraction, and the scatter-add slice table for the adjoint — everything
+    that only depends on ``(N, C, H, W, kh, kw, stride, pad)``.  Plans carry
+    no buffers and may be shared between modules.
+    """
+
+    __slots__ = (
+        "n", "c", "h", "w", "kh", "kw", "stride", "pad",
+        "oh", "ow", "hp", "wp", "k", "p", "padded_shape", "fold_slices",
+    )
+
+    def __init__(
+        self, n: int, c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+    ) -> None:
+        self.n, self.c, self.h, self.w = n, c, h, w
+        self.kh, self.kw, self.stride, self.pad = kh, kw, stride, pad
+        self.oh, self.ow = conv2d_output_hw(h, w, kh, kw, stride, pad)
+        self.hp, self.wp = h + 2 * pad, w + 2 * pad
+        self.k = c * kh * kw  # receptive-field size (GEMM reduction axis)
+        self.p = self.oh * self.ow  # output positions per example
+        self.padded_shape = (n, c, self.hp, self.wp)
+        # scatter-add table: window offset (i, j) -> strided target slice
+        self.fold_slices = tuple(
+            (i, j, slice(i, i + stride * self.oh, stride), slice(j, j + stride * self.ow, stride))
+            for i in range(kh)
+            for j in range(kw)
+        )
+
+    # -- zero-copy patch extraction -------------------------------------
+
+    def window_view(self, xp: np.ndarray) -> np.ndarray:
+        """``(N, C, kh, kw, OH, OW)`` view of padded input — no data copied."""
+        s0, s1, s2, s3 = xp.strides
+        return as_strided(
+            xp,
+            shape=(self.n, self.c, self.kh, self.kw, self.oh, self.ow),
+            strides=(s0, s1, s2, s3, self.stride * s2, self.stride * s3),
+        )
+
+    def extract(
+        self, x: np.ndarray, pool: Optional[BufferPool] = None, name: str = "col"
+    ) -> np.ndarray:
+        """Materialise the GEMM matrix ``(N, C*kh*kw, OH*OW)`` (channel-major).
+
+        One copy total: padding writes into a pooled scratch, the window view
+        is free, and the single gather writes straight into the pooled col
+        buffer in its final order.
+        """
+        pool = pool if pool is not None else BufferPool()
+        if not x.flags.c_contiguous:
+            x = np.ascontiguousarray(x)
+        if self.pad > 0:
+            xp = pool.zeros(name + ".pad", self.padded_shape, x.dtype)
+            xp[:, :, self.pad : self.pad + self.h, self.pad : self.pad + self.w] = x
+        else:
+            xp = x
+        col = pool.get(name, (self.n, self.k, self.p), x.dtype)
+        col6 = col.reshape(self.n, self.c, self.kh, self.kw, self.oh, self.ow)
+        col6[...] = self.window_view(xp)
+        return col
+
+    # -- adjoint ----------------------------------------------------------
+
+    def fold(
+        self, gcol: np.ndarray, pool: Optional[BufferPool] = None, name: str = "fold"
+    ) -> np.ndarray:
+        """Scatter-add a ``(N, C*kh*kw, OH*OW)`` gradient back onto the input.
+
+        Returns the ``(N, C, H, W)`` input gradient; when ``pad > 0`` it is a
+        view into the pool's padded scratch (valid until the next ``fold`` on
+        the same pool/name).
+        """
+        pool = pool if pool is not None else BufferPool()
+        c6 = gcol.reshape(self.n, self.c, self.kh, self.kw, self.oh, self.ow)
+        gxp = pool.get(name, self.padded_shape, gcol.dtype)
+        first, rest = self.fold_slices[0], self.fold_slices[1:]
+        if self.stride == 1:
+            # window (0, 0) covers the [0:OH, 0:OW] block densely, so assign
+            # it and only zero the uncovered right/bottom margins.
+            gxp[:, :, self.oh :, :] = 0
+            gxp[:, :, : self.oh, self.ow :] = 0
+            i, j, si, sj = first
+            gxp[:, :, si, sj] = c6[:, :, i, j]
+        else:
+            gxp[...] = 0
+            i, j, si, sj = first
+            gxp[:, :, si, sj] += c6[:, :, i, j]
+        for i, j, si, sj in rest:
+            gxp[:, :, si, sj] += c6[:, :, i, j]
+        if self.pad > 0:
+            return gxp[:, :, self.pad : self.pad + self.h, self.pad : self.pad + self.w]
+        return gxp
+
+
+@lru_cache(maxsize=512)
+def conv_plan(
+    n: int, c: int, h: int, w: int, kh: int, kw: int, stride: int, pad: int
+) -> ConvPlan:
+    """Cached :class:`ConvPlan` for one geometry (the "index-plan cache")."""
+    return ConvPlan(n, c, h, w, kh, kw, stride, pad)
+
+
 def im2col(
     x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
 ) -> np.ndarray:
-    """Unfold NCHW input into GEMM form.
+    """Unfold NCHW input into GEMM form (historical row-major layout).
 
     Returns a ``(N, OH*OW, C*kh*kw)`` array whose last axis enumerates the
     receptive field in ``(c, i, j)`` order — matching a weight matrix of shape
@@ -70,15 +193,13 @@ def col2im(
     Overlapping windows scatter-add, the adjoint of :func:`im2col`.
     """
     n, c, h, w = x_shape
-    oh, ow = conv2d_output_hw(h, w, kh, kw, stride, pad)
-    grad = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    plan = conv_plan(n, c, h, w, kh, kw, stride, pad)
+    oh, ow = plan.oh, plan.ow
+    grad = np.zeros(plan.padded_shape, dtype=cols.dtype)
     # back to (N, C, kh, kw, OH, OW)
     cols6 = cols.reshape(n, oh, ow, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
-    for i in range(kh):
-        i_hi = i + stride * oh
-        for j in range(kw):
-            j_hi = j + stride * ow
-            grad[:, :, i:i_hi:stride, j:j_hi:stride] += cols6[:, :, i, j]
+    for i, j, si, sj in plan.fold_slices:
+        grad[:, :, si, sj] += cols6[:, :, i, j]
     if pad > 0:
         grad = grad[:, :, pad : pad + h, pad : pad + w]
     return grad

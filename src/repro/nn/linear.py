@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .bufferpool import BufferPool
 from .init import torch_uniform_
 from .module import Module, Parameter
 
@@ -44,6 +45,7 @@ class Linear(Module):
             self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
         else:
             self.bias = None
+        self._pool = BufferPool()
         self._x: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -64,10 +66,17 @@ class Linear(Module):
         self._x = None
         go2 = grad_out.reshape(-1, self.out_features)
         x2 = x.reshape(-1, self.in_features)
-        self.weight.grad += go2.T @ x2
+        out_dtype = np.result_type(go2.dtype, x2.dtype)
+        gw = self._pool.get("gw", self.weight.data.shape, out_dtype)
+        np.matmul(go2.T, x2, out=gw)  # staged so += never allocates a temp
+        self.weight.grad += gw
         if self.bias is not None:
             self.bias.grad += go2.sum(axis=0)
         return (grad_out @ self.weight.data).reshape(x.shape)
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._x = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         if in_shape[-1] != self.in_features:

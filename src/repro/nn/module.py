@@ -119,6 +119,20 @@ class Module:
         for p in self.parameters():
             p.zero_grad()
 
+    def release_buffers(self) -> None:
+        """Drop pooled scratch buffers and cached forward context everywhere.
+
+        Layers that keep a :class:`~repro.nn.bufferpool.BufferPool` override
+        ``_release_buffers``; calling this after a large-batch pass (e.g. a
+        full test-set evaluation) returns peak memory to the training-batch
+        footprint.
+        """
+        for mod in self.modules():
+            mod._release_buffers()
+
+    def _release_buffers(self) -> None:
+        pass
+
     # -- compute contract ---------------------------------------------------
 
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -223,6 +237,17 @@ class FlatParams:
         self.data = data
         self.grad = grad
         self._params = list(params)
+        self._scratch: Optional[np.ndarray] = None
+
+    def scratch(self) -> np.ndarray:
+        """A reusable work vector shaped like ``data`` (lazily allocated).
+
+        The optimisers and the scaled :meth:`add_` use it to keep the step
+        arithmetic allocation-free; contents are unspecified between calls.
+        """
+        if self._scratch is None or self._scratch.shape != self.data.shape:
+            self._scratch = np.empty_like(self.data)
+        return self._scratch
 
     @property
     def size(self) -> int:
@@ -241,14 +266,20 @@ class FlatParams:
     def set_data(self, vec: np.ndarray) -> None:
         if vec.shape != self.data.shape:
             raise ValueError(f"shape mismatch: {vec.shape} vs {self.data.shape}")
-        self.data[...] = vec
+        np.copyto(self.data, vec)
 
     def add_(self, vec: np.ndarray, alpha: float = 1.0) -> None:
-        """In-place ``data += alpha * vec`` (the SGD step primitive)."""
+        """In-place ``data += alpha * vec`` (the SGD step primitive).
+
+        Allocation-free: the scaled case stages ``alpha * vec`` in the
+        flat-vector scratch buffer instead of a fresh temporary.
+        """
         if alpha == 1.0:
-            self.data += vec
+            np.add(self.data, vec, out=self.data)
         else:
-            self.data += alpha * vec
+            scaled = self.scratch()
+            np.multiply(vec, alpha, out=scaled)
+            np.add(self.data, scaled, out=self.data)
 
 
 def flatten_module(module: Module) -> FlatParams:

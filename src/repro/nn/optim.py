@@ -22,7 +22,12 @@ __all__ = ["SGD", "MomentumSGD", "StepDecaySchedule", "clip_grad_norm_"]
 
 
 class SGD:
-    """Plain SGD: ``x ← x − γ·g``; optional L2 weight decay."""
+    """Plain SGD: ``x ← x − γ·g``; optional L2 weight decay.
+
+    The step is allocation-free: the effective gradient is staged in one
+    reusable work vector (``np.multiply``/``np.add`` with ``out=``), so the
+    hot loop never touches the allocator and ``flat.data`` keeps its storage.
+    """
 
     def __init__(self, flat: FlatParams, lr: float, weight_decay: float = 0.0) -> None:
         if lr <= 0:
@@ -33,12 +38,22 @@ class SGD:
         self.lr = lr
         self.weight_decay = weight_decay
         self.steps = 0
+        self._step_buf = np.empty_like(flat.data)
+
+    def _effective_grad(self) -> np.ndarray:
+        """``grad (+ weight_decay * data)`` staged in the step buffer."""
+        buf = self._step_buf
+        if self.weight_decay:
+            np.multiply(self.flat.data, self.weight_decay, out=buf)
+            np.add(buf, self.flat.grad, out=buf)
+        else:
+            np.copyto(buf, self.flat.grad)
+        return buf
 
     def step(self) -> None:
-        g = self.flat.grad
-        if self.weight_decay:
-            g = g + self.weight_decay * self.flat.data
-        self.flat.data -= self.lr * g
+        buf = self._effective_grad()
+        np.multiply(buf, self.lr, out=buf)
+        np.subtract(self.flat.data, buf, out=self.flat.data)
         self.steps += 1
 
     def zero_grad(self) -> None:
@@ -67,17 +82,21 @@ class MomentumSGD(SGD):
         self.momentum = momentum
         self.nesterov = nesterov
         self.velocity = np.zeros_like(flat.data)
+        self._lr_g = np.empty_like(flat.data)
 
     def step(self) -> None:
-        g = self.flat.grad
-        if self.weight_decay:
-            g = g + self.weight_decay * self.flat.data
+        g = self._effective_grad()
+        lr_g = self._lr_g
+        np.multiply(g, self.lr, out=lr_g)
         self.velocity *= self.momentum
-        self.velocity -= self.lr * g
+        self.velocity -= lr_g
         if self.nesterov:
-            self.flat.data += self.momentum * self.velocity - self.lr * g
+            # look-ahead step m·v − γ·g, staged in the (now free) grad buffer
+            np.multiply(self.velocity, self.momentum, out=g)
+            np.subtract(g, lr_g, out=g)
+            np.add(self.flat.data, g, out=self.flat.data)
         else:
-            self.flat.data += self.velocity
+            np.add(self.flat.data, self.velocity, out=self.flat.data)
         self.steps += 1
 
 

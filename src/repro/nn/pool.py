@@ -6,6 +6,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from .bufferpool import BufferPool
 from .module import Module
 
 __all__ = ["MaxPool2d"]
@@ -28,6 +29,7 @@ class MaxPool2d(Module):
         self.kh, self.kw = kernel_size
         if self.kh < 1 or self.kw < 1:
             raise ValueError(f"bad kernel size {kernel_size}")
+        self._pool = BufferPool()
         self._argmax: Optional[np.ndarray] = None
         self._x_shape: Optional[Tuple[int, ...]] = None
 
@@ -53,14 +55,21 @@ class MaxPool2d(Module):
         self._x_shape = None
         n, c, h, w = x_shape
         oh, ow = h // self.kh, w // self.kw
-        gwin = np.zeros((n, c, oh, ow, self.kh * self.kw), dtype=grad_out.dtype)
+        gwin = self._pool.zeros(
+            "gwin", (n, c, oh, ow, self.kh * self.kw), grad_out.dtype
+        )
         np.put_along_axis(gwin, arg[..., None], grad_out[..., None], axis=-1)
-        gx = np.zeros(x_shape, dtype=grad_out.dtype)
+        gx = self._pool.zeros("gx", x_shape, grad_out.dtype)
         gwin6 = gwin.reshape(n, c, oh, ow, self.kh, self.kw).transpose(0, 1, 2, 4, 3, 5)
         gx[:, :, : oh * self.kh, : ow * self.kw] = gwin6.reshape(
             n, c, oh * self.kh, ow * self.kw
         )
         return gx
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._argmax = None
+        self._x_shape = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         c, h, w = in_shape

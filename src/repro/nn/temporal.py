@@ -15,8 +15,9 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
-from numpy.lib.stride_tricks import sliding_window_view
+from numpy.lib.stride_tricks import as_strided
 
+from .bufferpool import BufferPool
 from .init import torch_uniform_
 from .module import Module, Parameter
 
@@ -28,6 +29,13 @@ class TemporalConvolution(Module):
 
     ``(N, L, Cin) → (N, L−kw+1, Cout)`` with weight ``(Cout, kw*Cin)`` exactly
     as Torch's ``nn.TemporalConvolution`` lays it out.
+
+    The unfold is a zero-copy ``as_strided`` view gathered straight into the
+    Torch ``(k, c)`` column order (no transpose copy), and the backward
+    overlap-add is vectorised: each window offset's contribution lands on a
+    diagonal-shifted strided view of one scratch buffer, which then collapses
+    with a single ``sum`` — no Python loop over ``kw``.  Large temporaries
+    are pooled and reused across steps.
     """
 
     def __init__(
@@ -56,6 +64,7 @@ class TemporalConvolution(Module):
             self.bias: Optional[Parameter] = self.register_parameter(Parameter(b, "bias"))
         else:
             self.bias = None
+        self._pool = BufferPool()
         self._col: Optional[np.ndarray] = None
         self._x_shape: Optional[Tuple[int, ...]] = None
 
@@ -66,12 +75,20 @@ class TemporalConvolution(Module):
         if ell < self.kw:
             raise ValueError(f"sequence length {ell} shorter than window {self.kw}")
         lo = ell - self.kw + 1
-        # windows over time: (N, LO, kw, C) -> (N, LO, kw*C)
-        win = sliding_window_view(x, self.kw, axis=1)  # (N, LO, C, kw)
-        col = np.ascontiguousarray(win.transpose(0, 1, 3, 2)).reshape(n, lo, self.kw * c)
+        if not x.flags.c_contiguous:
+            x = np.ascontiguousarray(x)
+        # windows over time, read directly in (N, LO, kw, C) order: position t's
+        # window rows t..t+kw-1 are consecutive input frames, so the view just
+        # repeats the frame stride — no transpose, no copy until the gather.
+        s0, s1, s2 = x.strides
+        win = as_strided(x, shape=(n, lo, self.kw, c), strides=(s0, s1, s1, s2))
+        col = self._pool.get("col", (n, lo, self.kw * c), x.dtype)
+        col.reshape(n, lo, self.kw, c)[...] = win
         self._col = col
         self._x_shape = x.shape
-        y = col @ self.weight.data.T
+        out_dtype = np.result_type(self.weight.data.dtype, col.dtype)
+        y = self._pool.get("y", (n, lo, self.cout), out_dtype)
+        np.matmul(col, self.weight.data.T, out=y)
         if self.bias is not None:
             y += self.bias.data
         return y
@@ -86,14 +103,29 @@ class TemporalConvolution(Module):
         lo = ell - self.kw + 1
         go2 = grad_out.reshape(-1, self.cout)
         col2 = col.reshape(-1, self.kw * c)
-        self.weight.grad += go2.T @ col2
+        out_dtype = np.result_type(self.weight.data.dtype, go2.dtype)
+        gw = self._pool.get("gw", self.weight.data.shape, out_dtype)
+        np.matmul(go2.T, col2, out=gw)
+        self.weight.grad += gw
         if self.bias is not None:
             self.bias.grad += go2.sum(axis=0)
-        gcol = (grad_out @ self.weight.data).reshape(n, lo, self.kw, c)
-        gx = np.zeros(x_shape, dtype=grad_out.dtype)
-        for k in range(self.kw):
-            gx[:, k : k + lo, :] += gcol[:, :, k, :]
+        gcol = self._pool.get("gcol", (n, lo, self.kw * c), out_dtype)
+        np.matmul(grad_out, self.weight.data, out=gcol)
+        # overlap-add without a kw loop: writing window offset k's plane onto a
+        # view shifted k frames along the time axis places every contribution,
+        # then one sum over the kw axis folds them into grad_x.
+        scat = self._pool.zeros("scat", (n, self.kw, ell, c), out_dtype)
+        b0, b1, b2, b3 = scat.strides
+        diag = as_strided(scat, shape=(n, self.kw, lo, c), strides=(b0, b1 + b2, b2, b3))
+        diag[...] = gcol.reshape(n, lo, self.kw, c).transpose(0, 2, 1, 3)
+        gx = self._pool.get("gx", x_shape, out_dtype)
+        scat.sum(axis=1, out=gx)
         return gx
+
+    def _release_buffers(self) -> None:
+        self._pool.release()
+        self._col = None
+        self._x_shape = None
 
     def output_shape(self, in_shape: Tuple[int, ...]) -> Tuple[int, ...]:
         ell, c = in_shape
