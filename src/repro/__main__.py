@@ -4,10 +4,14 @@ Commands
 --------
 list
     Print the experiment registry (one id per paper table/figure).
-run EXP_ID [--set key=value ...] [--save out.json] [--jobs N] [--cache-dir D]
-        [--trace t.json] [--metrics m.json] [--manifest mf.json] [--profile]
+run EXP_ID [--set key=value ...] [--backend {sim,mp}] [--save out.json]
+        [--jobs N] [--cache-dir D] [--trace t.json] [--metrics m.json]
+        [--manifest mf.json] [--profile]
     Regenerate one experiment and print its report.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
+    ``--backend mp`` runs the trainers as real parallel worker processes
+    (shared-memory collectives / PS shard processes) instead of the default
+    virtual-time simulation — wall-clock parallelism on host cores.
     ``--jobs N`` fans independent grid points (e.g. each ``p``) out over N
     worker processes — results are bit-identical to ``--jobs 1``; with
     ``--cache-dir`` completed points are memoised on disk so interrupted
@@ -61,6 +65,8 @@ def _cmd_run(args, parser) -> int:
             parser.error(f"--set expects key=value, got {item!r}")
         key, _, value = item.partition("=")
         kwargs[key.strip()] = _parse_value(value.strip())
+    if args.backend is not None:
+        kwargs["backend"] = args.backend
 
     jobs = args.jobs
     if jobs != 1 and (args.trace or args.metrics or args.profile):
@@ -259,6 +265,13 @@ def main(argv=None) -> int:
         default=[],
         metavar="key=value",
         help="experiment kwargs, e.g. --set p_values=(1,8) --set epochs=12",
+    )
+    run_p.add_argument(
+        "--backend",
+        choices=("sim", "mp"),
+        default=None,
+        help="execution backend: 'sim' (virtual time, the default) or 'mp' "
+        "(real multiprocessing on host cores)",
     )
     run_p.add_argument("--save", default=None, help="write the result as JSON")
     run_p.add_argument(

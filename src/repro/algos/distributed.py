@@ -1,15 +1,19 @@
 """Shared machinery for the distributed trainers (SASGD/Downpour/EAMSGD).
 
-A distributed trainer owns a simulated :class:`~repro.cluster.Machine`,
-builds one :class:`~repro.algos.base.LearnerWorkload` per learner, attaches
-endpoints to the learners' GPUs, and spawns one engine process per learner
-(plus parameter-server shard processes where applicable).  Subclasses
-implement :meth:`_learner_proc`.
+A distributed trainer binds a :class:`~repro.runtime.Backend` (the default
+is the simulated virtual-time backend; ``repro run --backend mp`` selects
+real multiprocessing execution), builds one
+:class:`~repro.algos.base.LearnerWorkload` per learner, and drives one
+``_learner_proc`` coroutine per learner through the backend.  Subclasses
+implement :meth:`_learner_proc` against the runtime interfaces only —
+``self.collective`` for SPMD collectives, ``self.backend.make_ps(...)`` for
+a parameter server — never the simulator/fabric/PS modules directly.
 
-Compute-time model: one minibatch costs
+Compute-time model (sim backend): one minibatch costs
 ``device.compute_seconds(flops) × residency`` where residency is how many
 learners share the GPU (the paper's p=16 runs two learners per GPU via CUDA
-MPS, halving each one's throughput).
+MPS, halving each one's throughput).  On the mp backend the minibatch math
+itself is the cost and runs on a real core.
 """
 
 from __future__ import annotations
@@ -20,10 +24,8 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
-from ..cluster.machine import Machine, power8_oss_spec
-from ..comm.fabric import Endpoint, Fabric
 from ..obs.runtime import TrainerObs, active as _obs_active
-from ..sim import Delay
+from ..runtime import Backend, resolve_backend
 from .base import (
     LearnerWorkload,
     MetricsTape,
@@ -36,7 +38,7 @@ __all__ = ["DistributedTrainer"]
 
 
 class DistributedTrainer:
-    """Base class: machine/workload/endpoint plumbing and the train() driver."""
+    """Base class: backend/workload plumbing and the train() driver."""
 
     algorithm = "distributed-base"
 
@@ -44,30 +46,19 @@ class DistributedTrainer:
         self,
         problem: Problem,
         config: TrainerConfig,
-        machine: Optional[Machine] = None,
+        machine=None,
+        backend: Optional[Backend] = None,
     ) -> None:
         self.problem = problem
         self.config = config
-        self.machine = (
-            machine
-            if machine is not None
-            else Machine(power8_oss_spec(n_gpus=8), seed=config.seed)
-        )
-        self.fabric = Fabric(
-            self.machine.engine,
-            self.machine.topology,
-            tracer=self.machine.tracer,
-            contention=config.contention,
-        )
         p = config.p
-        self.placement = self.machine.place_learners(p)
-        residency = self.machine.residency(self.placement)
-        self.residency = [residency[dev] for dev in self.placement]
         self.learner_names = [f"learner{i}" for i in range(p)]
-        self.endpoints: List[Endpoint] = [
-            self.fabric.attach(self.learner_names[i], self.placement[i])
-            for i in range(p)
-        ]
+        # machine construction is the backend's business now: SimBackend
+        # builds (or adopts) the simulated cluster lazily inside bind();
+        # MPBackend never touches it
+        self.backend = resolve_backend(backend, machine=machine)
+        self.backend.bind(self)
+        self.collective = self.backend.collective
         # 3 rng streams per learner: model init, minibatch order, dropout
         streams = np.random.SeedSequence(config.seed).spawn(3 * p)
         self.workloads: List[LearnerWorkload] = [
@@ -83,9 +74,27 @@ class DistributedTrainer:
         # uniform batch sizes keep bulk-synchronous intervals aligned
         for wl in self.workloads:
             wl.sampler.drop_last = len(problem.train_set) >= config.batch_size
-        self.tape = MetricsTape(problem, config, clock=lambda: self.machine.engine.now)
+        self.tape = MetricsTape(problem, config, clock=self.backend.clock)
+        self._sample_scale = self.backend.sample_scale
         self._pending_crossings = 0
         self._obs: Optional[TrainerObs] = None  # installed by train()
+
+    # -- backward-compatible views onto backend-owned plumbing ---------------
+
+    @property
+    def machine(self):
+        """The simulated machine (None on backends without one)."""
+        return getattr(self.backend, "machine", None)
+
+    @property
+    def fabric(self):
+        """The simulated fabric (None on backends without one)."""
+        return getattr(self.backend, "fabric", None)
+
+    @property
+    def endpoints(self):
+        """Simulated fabric endpoints (None on backends without them)."""
+        return getattr(self.backend, "endpoints", None)
 
     # -- helpers for subclasses ---------------------------------------------
 
@@ -101,34 +110,32 @@ class DistributedTrainer:
         return max(1, math.ceil(total / (cfg.p * cfg.batch_size)))
 
     def compute_step(self, lid: int) -> Generator:
-        """Coroutine: run one minibatch (virtual compute delay + real math).
+        """Coroutine: run one minibatch (backend compute cost + real math).
 
         Returns the number of epoch boundaries this batch crossed; the tape
         has already accumulated the window statistics.
         """
         wl = self.workloads[lid]
         idx = wl.next_batch()
-        device = self.machine.devices[self.placement[lid]]
-        dur = device.compute_seconds(wl.batch_flops(len(idx))) * self.residency[lid]
-        name = self.learner_names[lid]
-        self.machine.tracer.begin(name, "compute")
-        yield Delay(dur)
-        self.machine.tracer.end(name, "compute")
+        yield from self.backend.compute(lid, wl.batch_flops(len(idx)))
         loss, acc, nb = wl.compute_gradient(idx)
         if self._obs is not None:
             self._obs.on_batch(nb, wl.flat.grad)
-        return self.tape.on_batch(nb, loss, acc)
+        return self.tape.on_batch(nb * self._sample_scale, loss, acc)
 
-    def record_now(self, crossed: int) -> None:
-        """Score/record ``crossed`` epoch boundaries against learner 0."""
-        if crossed > 0:
+    def record_now(self, crossed: int, lid: int = 0) -> None:
+        """Score/record ``crossed`` epoch boundaries against learner 0.
+
+        ``lid`` is the *caller*: backends whose tape lives per worker
+        process (mp) only let rank 0 record; the sim backend lets every
+        learner record onto the shared tape, exactly as before.
+        """
+        if crossed > 0 and self.backend.should_record(lid):
             self.tape.record_epochs(crossed, self.workloads[0].model)
 
     def comm(self, lid: int, coroutine: Generator) -> Generator:
-        """Wrap a communication coroutine in the learner's "comm" span."""
-        result = yield from self.machine.tracer.timed(
-            self.learner_names[lid], "comm", coroutine
-        )
+        """Drive a communication coroutine under the backend's comm clock."""
+        result = yield from self.backend.comm(lid, coroutine)
         return result
 
     # -- subclass contract ----------------------------------------------------
@@ -139,59 +146,33 @@ class DistributedTrainer:
     def _extra_results(self) -> Dict[str, object]:
         return {}
 
+    def _worker_export(self, lid: int) -> Dict[str, object]:
+        """Algorithm-specific state a per-process backend ships back to the
+        parent (counters, staleness samples, ...).  Sim never calls this."""
+        return {}
+
+    def _worker_import(self, lid: int, data: Dict[str, object]) -> None:
+        """Merge one worker's :meth:`_worker_export` payload in the parent."""
+
     def train(self) -> TrainResult:
         t0 = time.perf_counter()
         self._obs = TrainerObs.maybe(
             self.algorithm, self.config.p, self.problem.name
         )
-        procs = [
-            self.machine.engine.spawn(self._learner_proc(lid), name=self.learner_names[lid])
-            for lid in range(self.config.p)
-        ]
-        self.machine.engine.run()
-        for proc in procs:
-            if not proc.finished:
-                raise RuntimeError(
-                    f"{proc.name} deadlocked: a bulk-synchronous peer died "
-                    "mid-interval (injected failure?) or this is an algorithm bug"
-                )
-        tracer = self.machine.tracer
-        mean_bd = tracer.mean_breakdown(self.learner_names)
-        extras: Dict[str, object] = {
-            "total_bytes": self.fabric.total_bytes,
-            "comm_seconds_per_learner": mean_bd.comm_seconds,
-            "compute_seconds_per_learner": mean_bd.compute_seconds,
-            "comm_fraction": mean_bd.comm_fraction,
-        }
+        stats = self.backend.run(self)
+        extras: Dict[str, object] = dict(stats.extras)
+        extras.setdefault("backend", self.backend.name)
         extras.update(self._extra_results())
         wall = time.perf_counter() - t0
         sess = _obs_active()
         if sess is not None:
-            labels = dict(
-                algo=self.algorithm, p=self.config.p, problem=self.problem.name
-            )
-            self.fabric.publish_metrics(sess.registry, **labels)
-            stats = self.machine.engine.stats()
-            sess.registry.counter("engine.events_total", **labels).inc(
-                stats["events_processed"]
-            )
-            sess.registry.gauge("engine.max_heap_depth", **labels).set(
-                stats["max_heap_depth"]
-            )
-            if self._obs is not None:
-                self._obs.finish(self.tape.samples, self.machine.engine.now, wall)
-            sess.add_run(
-                f"{self.algorithm} {self.problem.name} p={self.config.p}",
-                tracer.spans,
-                self.fabric.message_log,
-                self.machine.engine.now,
-            )
+            self.backend.publish_obs(self, sess, wall)
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,
             config=self.config,
             records=self.tape.records,
-            virtual_seconds=self.machine.engine.now,
+            virtual_seconds=stats.duration,
             wall_seconds=wall,
             extras=extras,
         )

@@ -10,6 +10,10 @@ lands stale by ``s`` — exactly the uncontrolled staleness the paper blames
 for Downpour's erratic behaviour at p ≥ 8: it depends on the learners'
 relative speeds (device jitter) and their position in the network (queueing
 on the host channel), neither of which the algorithm bounds.
+
+The server itself comes from the backend (:meth:`Backend.make_ps`): shard
+coroutines on the simulated host in virtual time, or real shard processes
+over a shared parameter segment under ``--backend mp``.
 """
 
 from __future__ import annotations
@@ -19,7 +23,6 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
-from ..ps.server import PSClient, ShardedParameterServer
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -59,13 +62,12 @@ class DownpourTrainer(DistributedTrainer):
         config: TrainerConfig,
         options: DownpourOptions = DownpourOptions(),
         machine=None,
+        backend=None,
     ) -> None:
-        super().__init__(problem, config, machine)
+        super().__init__(problem, config, machine=machine, backend=backend)
         self.options = options
         server_lr = options.server_lr if options.server_lr is not None else config.lr
-        self.server = ShardedParameterServer(
-            self.machine,
-            self.fabric,
+        self.server = self.backend.make_ps(
             size=self.workloads[0].flat.size,
             n_shards=min(options.n_shards, self.workloads[0].flat.size),
             learning_rate=server_lr,
@@ -73,7 +75,7 @@ class DownpourTrainer(DistributedTrainer):
         )
         # learner 0's initialisation is the shared starting point
         self.server.set_params(self.workloads[0].flat.copy_data())
-        self.clients = [PSClient(self.server, ep) for ep in self.endpoints]
+        self.clients = [self.server.client(i) for i in range(config.p)]
 
     def _learner_proc(self, lid: int) -> Generator:
         wl = self.workloads[lid]
@@ -86,13 +88,16 @@ class DownpourTrainer(DistributedTrainer):
         fail_after = (self.options.fail_at or {}).get(lid)
         for step in range(1, total + 1):
             if fail_after is not None and step > fail_after:
-                return  # injected failure: this learner silently dies
+                # injected failure: this learner silently dies; the PS keeps
+                # serving the survivors, so the run completes
+                self.backend.note_failure(lid, fail_after)
+                return
             crossed = yield from self.compute_step(lid)
             gs += wl.flat.grad
             if self.options.local_updates:
                 wl.flat.data -= self.config.lr * wl.flat.grad
             if crossed:
-                self.record_now(crossed)
+                self.record_now(crossed, lid)
             if step % T == 0 or step == total:
                 def round_trip() -> Generator:
                     yield from client.push(gs)
@@ -101,6 +106,12 @@ class DownpourTrainer(DistributedTrainer):
                 x = yield from self.comm(lid, round_trip())
                 wl.flat.set_data(x)
                 gs[...] = 0.0
+
+    def _worker_export(self, lid: int) -> Dict[str, object]:
+        return {"staleness": list(self.clients[lid].staleness_samples)}
+
+    def _worker_import(self, lid: int, data: Dict[str, object]) -> None:
+        self.clients[lid].staleness_samples = list(data["staleness"])
 
     def _extra_results(self) -> Dict[str, object]:
         staleness = np.concatenate(

@@ -13,10 +13,11 @@ and otherwise takes momentum SGD steps (the "M" in EAMSGD):
 ``v ← δ·v − γ·g ;  x_i ← x_i + v``.  The moving rate follows the EAMSGD
 paper's recipe α = β/p with β = 0.9.
 
-Like Downpour, the exchange crosses the host channel and lands in arrival
-order, so center staleness grows with p; unlike Downpour, the elastic force
-bounds how far replicas drift, which is why it degrades more gracefully
-(paper Fig. 9/10: EAMSGD between SASGD and Downpour).
+Like Downpour, the exchange crosses the host channel (or, under ``--backend
+mp``, a real shard process) and lands in arrival order, so center staleness
+grows with p; unlike Downpour, the elastic force bounds how far replicas
+drift, which is why it degrades more gracefully (paper Fig. 9/10: EAMSGD
+between SASGD and Downpour).
 """
 
 from __future__ import annotations
@@ -26,7 +27,6 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
-from ..ps.server import PSClient, ShardedParameterServer
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -36,12 +36,19 @@ __all__ = ["EAMSGDOptions", "EAMSGDTrainer"]
 @dataclass(frozen=True)
 class EAMSGDOptions:
     """``tau`` is the communication period (the paper reuses T for it);
-    ``beta`` sets the moving rate α = β/p; ``momentum`` is δ."""
+    ``beta`` sets the moving rate α = β/p; ``momentum`` is δ.
+
+    ``fail_at`` — failure injection: ``{learner_id: step}`` kills a learner
+    after that many local steps.  Like Downpour (and unlike SASGD), the
+    asynchronous exchange tolerates the death: the center variable simply
+    stops hearing from that replica.
+    """
 
     tau: int = 1
     beta: float = 0.9
     momentum: float = 0.9
     n_shards: int = 2
+    fail_at: Optional[Dict[int, int]] = None
 
     def __post_init__(self) -> None:
         if self.tau < 1:
@@ -63,20 +70,19 @@ class EAMSGDTrainer(DistributedTrainer):
         config: TrainerConfig,
         options: EAMSGDOptions = EAMSGDOptions(),
         machine=None,
+        backend=None,
     ) -> None:
-        super().__init__(problem, config, machine)
+        super().__init__(problem, config, machine=machine, backend=backend)
         self.options = options
         self.alpha = options.beta / config.p
-        self.server = ShardedParameterServer(
-            self.machine,
-            self.fabric,
+        self.server = self.backend.make_ps(
             size=self.workloads[0].flat.size,
             n_shards=min(options.n_shards, self.workloads[0].flat.size),
             learning_rate=config.lr,  # unused by elastic requests
             dtype=self.workloads[0].flat.data.dtype,
         )
         self.server.set_params(self.workloads[0].flat.copy_data())
-        self.clients = [PSClient(self.server, ep) for ep in self.endpoints]
+        self.clients = [self.server.client(i) for i in range(config.p)]
 
     def _learner_proc(self, lid: int) -> Generator:
         wl = self.workloads[lid]
@@ -87,7 +93,13 @@ class EAMSGDTrainer(DistributedTrainer):
         wl.flat.set_data(x)
         v = np.zeros_like(wl.flat.data)
         total = self.steps_per_learner()
+        fail_after = (opts.fail_at or {}).get(lid)
         for step in range(1, total + 1):
+            if fail_after is not None and step > fail_after:
+                # injected failure: the elastic exchange is asynchronous, so
+                # the survivors keep training against the center variable
+                self.backend.note_failure(lid, fail_after)
+                return
             if (step - 1) % opts.tau == 0:
                 e = yield from self.comm(
                     lid, client.elastic(wl.flat.data, self.alpha)
@@ -99,7 +111,13 @@ class EAMSGDTrainer(DistributedTrainer):
             v -= self.config.lr * wl.flat.grad
             wl.flat.data += v
             if crossed:
-                self.record_now(crossed)
+                self.record_now(crossed, lid)
+
+    def _worker_export(self, lid: int) -> Dict[str, object]:
+        return {"staleness": list(self.clients[lid].staleness_samples)}
+
+    def _worker_import(self, lid: int, data: Dict[str, object]) -> None:
+        self.clients[lid].staleness_samples = list(data["staleness"])
 
     def _extra_results(self) -> Dict[str, object]:
         return {

@@ -1,10 +1,12 @@
-"""SASGD trainer — Algorithm 1 on the simulated cluster.
+"""SASGD trainer — Algorithm 1 on the runtime layer.
 
-Binds :class:`repro.core.SASGDLocalState` (the pure algorithm) to the
-machine: the initial broadcast and the per-interval allreduce run over the
-GPU tree through :mod:`repro.comm.collectives`, local compute advances
-virtual time through the device model, and the tracer splits each learner's
-epoch into the compute/comm fractions that Figs. 4–6 report.
+Binds :class:`repro.core.SASGDLocalState` (the pure algorithm) to a
+:class:`~repro.runtime.Backend`: the initial broadcast and the per-interval
+allreduce go through the backend's :class:`~repro.runtime.Collective` — the
+simulated GPU tree in virtual time, or shared-memory segments across real
+worker processes — local compute advances the backend's clock, and (on the
+sim backend) the tracer splits each learner's epoch into the compute/comm
+fractions that Figs. 4–6 report.
 """
 
 from __future__ import annotations
@@ -15,7 +17,6 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
-from ..comm.collectives import allgather_ring, allreduce, broadcast
 from ..core.compression import make_compressor
 from ..core.sasgd import SASGDConfig, SASGDLocalState
 from .base import Problem, TrainerConfig
@@ -37,7 +38,8 @@ class SASGDOptions:
     ``SASGDConfig.model_averaging``) and the raw sum (γ, which overshoots by
     a factor p).  γ/√p is the classic variance-reduction scaling and is what
     the bench-scale experiments validate.  ``allreduce_algorithm`` picks the
-    collective ("ring", "recursive_doubling", "tree").
+    collective ("ring", "recursive_doubling", "tree") where the transport
+    offers a choice (the simulated fabric; shared memory ignores it).
 
     Extensions beyond the paper (both off by default):
 
@@ -49,8 +51,9 @@ class SASGDOptions:
       (index, value) pairs with a local sum, as real sparse allreduces do.
     * ``fail_at`` — failure injection: ``{learner_id: step}`` kills a learner
       after that many local steps.  Bulk-synchronous SASGD then deadlocks at
-      the next allreduce (surfaced as a RuntimeError) — the fault-tolerance
-      price of synchrony that the paper concedes to parameter servers.
+      the next allreduce (surfaced as a typed
+      :class:`repro.runtime.LearnerFailure`) — the fault-tolerance price of
+      synchrony that the paper concedes to parameter servers.
     """
 
     T: int = 50
@@ -80,8 +83,9 @@ class SASGDTrainer(DistributedTrainer):
         config: TrainerConfig,
         options: SASGDOptions = SASGDOptions(),
         machine=None,
+        backend=None,
     ) -> None:
-        super().__init__(problem, config, machine)
+        super().__init__(problem, config, machine=machine, backend=backend)
         self.options = options
         gamma_p = (
             options.gamma_p
@@ -108,16 +112,14 @@ class SASGDTrainer(DistributedTrainer):
             )
             for _ in range(config.p)
         ]
-        self._compress_rngs = self.machine.spawn_rngs(config.p)
+        self._compress_rngs = self.backend.spawn_rngs(config.p)
         self.compressed_bytes_saved = 0.0
 
     def _aggregate(self, lid: int, interval: int, gs: np.ndarray) -> Generator:
         """Coroutine: dense allreduce, or compressed allgather + local sum."""
         compressor = self.compressors[lid]
         if compressor is None:
-            gs_sum = yield from allreduce(
-                self.endpoints[lid],
-                self.learner_names,
+            gs_sum = yield from self.collective.allreduce(
                 lid,
                 gs,
                 ctx=("agg", interval),
@@ -126,9 +128,7 @@ class SASGDTrainer(DistributedTrainer):
             return gs_sum
         sparse = compressor.compress(gs, self._compress_rngs[lid])
         self.compressed_bytes_saved += float(gs.nbytes) - sparse.nbytes
-        pieces = yield from allgather_ring(
-            self.endpoints[lid],
-            self.learner_names,
+        pieces = yield from self.collective.allgather(
             lid,
             sparse,
             nbytes=sparse.nbytes,
@@ -142,14 +142,14 @@ class SASGDTrainer(DistributedTrainer):
     def _learner_proc(self, lid: int) -> Generator:
         cfg = self.sasgd_config
         wl = self.workloads[lid]
-        ep = self.endpoints[lid]
-        names = self.learner_names
         fail_after = (self.options.fail_at or {}).get(lid)
         # "The parameter x is initialized by learner 0, and then broadcast"
         x0 = wl.flat.copy_data() if lid == 0 else None
         x0 = yield from self.comm(
             lid,
-            broadcast(ep, names, lid, x0, root=0, nbytes=wl.flat.nbytes, ctx="init"),
+            self.collective.broadcast(
+                lid, x0, root=0, nbytes=wl.flat.nbytes, ctx="init"
+            ),
         )
         wl.flat.set_data(x0)
         state = SASGDLocalState(wl.flat, cfg)
@@ -158,7 +158,10 @@ class SASGDTrainer(DistributedTrainer):
             state.begin_interval()
             for _ in range(cfg.T):
                 if fail_after is not None and steps_done >= fail_after:
-                    return  # injected failure: the learner silently dies
+                    # injected failure: the learner silently dies; peers
+                    # deadlock at the next allreduce (LearnerFailure)
+                    self.backend.note_failure(lid, steps_done)
+                    return
                 crossed = yield from self.compute_step(lid)
                 steps_done += 1
                 self._pending_crossings += crossed
@@ -171,6 +174,18 @@ class SASGDTrainer(DistributedTrainer):
                 self.allreduce_count += 1
                 crossed_total, self._pending_crossings = self._pending_crossings, 0
                 self.record_now(crossed_total)
+
+    def _worker_export(self, lid: int) -> Dict[str, object]:
+        return {
+            "allreduce_count": self.allreduce_count,
+            "compressed_bytes_saved": self.compressed_bytes_saved,
+        }
+
+    def _worker_import(self, lid: int, data: Dict[str, object]) -> None:
+        if lid == 0:
+            self.allreduce_count = int(data["allreduce_count"])
+        # each worker compresses its own stream; savings add up
+        self.compressed_bytes_saved += float(data["compressed_bytes_saved"])
 
     def _extra_results(self) -> Dict[str, object]:
         extras: Dict[str, object] = {

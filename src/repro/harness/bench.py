@@ -221,6 +221,43 @@ def _bench_sasgd_interval(reps: int) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _bench_mp_interval(reps: int) -> Dict[str, Dict[str, object]]:
+    """Per-interval wall time of a real SASGD run on the mp backend.
+
+    Trains a unit-scale CIFAR SASGD end-to-end with 2 worker processes over
+    shared-memory allreduce and reports seconds per aggregation interval —
+    the number the sim backend can only model.  Skipped (empty dict) where
+    fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return {}
+    from ..algos import SASGDOptions, SASGDTrainer, TrainerConfig
+    from ..algos.problems import cifar_problem
+    from ..runtime import MPBackend
+
+    p, T = 2, 4
+
+    def one_run() -> int:
+        problem = cifar_problem(scale="unit", seed=5)
+        config = TrainerConfig(p=p, epochs=1, batch_size=8, lr=0.02, seed=5)
+        trainer = SASGDTrainer(
+            problem, config, SASGDOptions(T=T), backend=MPBackend(timeout=60.0)
+        )
+        trainer.train()
+        return trainer.n_intervals
+
+    n_intervals = one_run()  # warm-up: imports, page cache, fork machinery
+    s, r = _time(one_run, reps)
+    per_interval = s / max(1, n_intervals)
+    return {
+        "sasgd_interval_mp_backend": _entry(
+            per_interval, r, p=p, T=T, intervals=n_intervals, scale="unit"
+        )
+    }
+
+
 def _bench_experiment() -> Dict[str, Dict[str, object]]:
     """End-to-end wall time for one small figure experiment (unit scale)."""
     from .experiments import run_experiment
@@ -253,6 +290,7 @@ def run_benchmarks(quick: bool = False, include_experiment: bool = True) -> Dict
     benches.update(_bench_sgd(reps))
     benches.update(_bench_sasgd_interval(max(3, reps // 2)))
     if include_experiment:
+        benches.update(_bench_mp_interval(2 if quick else 3))
         benches.update(_bench_experiment())
 
     derived: Dict[str, float] = {}

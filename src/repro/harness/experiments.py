@@ -97,7 +97,17 @@ def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
         raise ValueError(
             f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(**kwargs)
+    # `backend` is ambient rather than a per-experiment parameter: every
+    # trainer the experiment constructs picks it up, and experiment
+    # signatures stay backend-free.  Timing-model experiments (fig1/4/5/6)
+    # ignore it — they simulate wire schedules, not trainers.
+    backend = kwargs.pop("backend", None)
+    if backend is None:
+        return fn(**kwargs)
+    from ..runtime import use_backend
+
+    with use_backend(backend):
+        return fn(**kwargs)
 
 
 def list_experiments() -> List[str]:

@@ -297,11 +297,19 @@ def run_experiment_parallel(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     mp_context: Optional[str] = None,
+    backend: Optional[str] = None,
     **kwargs,
 ) -> ExperimentResult:
-    """Drop-in ``run_experiment`` that splits, fans out, caches, and merges."""
+    """Drop-in ``run_experiment`` that splits, fans out, caches, and merges.
+
+    ``backend`` (a :mod:`repro.runtime` backend name) rides along in each
+    grid point's kwargs: workers pass it to ``run_experiment``, and it is
+    part of the cache key, so sim and mp results never alias.
+    """
     if exp_id not in EXPERIMENTS:
         raise ValueError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+    if backend is not None:
+        kwargs["backend"] = backend
     sub_kwargs = expand_grid(exp_id, kwargs)
     parts = run_grid(
         [(exp_id, sub) for sub in sub_kwargs],

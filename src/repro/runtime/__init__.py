@@ -1,0 +1,128 @@
+"""repro.runtime — the transport-agnostic distributed runtime.
+
+The trainers in :mod:`repro.algos` are written against this package's
+interfaces (:class:`Backend`, :class:`Collective`,
+:class:`ParameterServerHandle`) and never import the simulator, fabric or
+parameter-server modules directly.  Two backends ship:
+
+``sim`` (:class:`SimBackend`, the default)
+    Virtual time on the discrete-event engine — bit-identical to the
+    pre-runtime trainers: same seed → same curves, byte counts and virtual
+    timings.
+
+``mp`` (:class:`MPBackend`)
+    Real wall-clock execution: one OS process per learner over
+    ``multiprocessing.shared_memory`` collectives and parameter-server
+    shard processes.
+
+Selecting a backend::
+
+    SASGDTrainer(problem, config, options, backend=MPBackend())   # explicit
+    with use_backend("mp"):                                       # ambient
+        run_experiment("fig2", ...)
+    repro run fig2 --backend mp                                   # CLI
+
+``use_backend`` installs a default for every trainer constructed in the
+block that is not given an explicit ``backend=``/``machine=`` — that is how
+the CLI and harness select a backend without threading an argument through
+every experiment signature.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Union
+
+from .api import (
+    Backend,
+    Collective,
+    LearnerFailure,
+    ParameterServerHandle,
+    PSClientLike,
+    RunStats,
+    blocking,
+)
+from .mp_backend import MPBackend, MPCollective, MPParameterServer
+from .sim_backend import SimBackend, SimCollective, SimParameterServer
+
+__all__ = [
+    "Backend",
+    "Collective",
+    "LearnerFailure",
+    "ParameterServerHandle",
+    "PSClientLike",
+    "RunStats",
+    "blocking",
+    "SimBackend",
+    "SimCollective",
+    "SimParameterServer",
+    "MPBackend",
+    "MPCollective",
+    "MPParameterServer",
+    "BACKENDS",
+    "make_backend",
+    "use_backend",
+    "resolve_backend",
+]
+
+BACKENDS = {
+    "sim": SimBackend,
+    "mp": MPBackend,
+}
+
+# Stack of ambient default-backend factories installed by use_backend().
+# A factory (not an instance) because each trainer needs a fresh backend.
+_DEFAULT_FACTORIES: List[Callable[[], Backend]] = []
+
+
+def make_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a registered backend by name ('sim' or 'mp')."""
+    try:
+        cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r} (known: {known})") from None
+    return cls(**kwargs)
+
+
+@contextmanager
+def use_backend(
+    backend: Union[str, Callable[[], Backend]], **kwargs
+) -> Iterator[None]:
+    """Install an ambient default backend for the block.
+
+    ``backend`` is a registered name (``"sim"``/``"mp"``; ``kwargs`` go to
+    its constructor) or a zero-argument factory returning a fresh
+    :class:`Backend` per trainer.  Nests; the previous default is restored
+    on exit.
+    """
+    if callable(backend):
+        factory = backend
+    else:
+        name = backend
+        factory = lambda: make_backend(name, **kwargs)  # noqa: E731
+    _DEFAULT_FACTORIES.append(factory)
+    try:
+        yield
+    finally:
+        _DEFAULT_FACTORIES.pop()
+
+
+def resolve_backend(backend=None, machine=None) -> Backend:
+    """The backend a trainer should use (called by DistributedTrainer).
+
+    Precedence: explicit ``backend`` (instance or name) > explicit
+    ``machine`` (wraps it in a SimBackend, the historical injection point)
+    > the innermost :func:`use_backend` default > a fresh :class:`SimBackend`.
+    """
+    if backend is not None:
+        if machine is not None:
+            raise ValueError("pass either machine= or backend=, not both")
+        if isinstance(backend, str):
+            return make_backend(backend)
+        return backend
+    if machine is not None:
+        return SimBackend(machine=machine)
+    if _DEFAULT_FACTORIES:
+        return _DEFAULT_FACTORIES[-1]()
+    return SimBackend()

@@ -1,0 +1,298 @@
+"""The transport-agnostic runtime contract the trainers are written against.
+
+The paper's algorithm loops (SASGD's interval allreduce, Downpour's sharded
+parameter server, EAMSGD's elastic averaging) are local-update /
+periodic-communication loops; nothing in them is specific to the
+discrete-event simulator.  This module defines the seam that keeps them that
+way: trainers talk to a :class:`Backend` (workers, clock, RNG streams,
+compute accounting), a :class:`Collective` (broadcast / allreduce /
+allgather), and a :class:`ParameterServerHandle` whose :class:`PSClientLike`
+clients implement push / pull / elastic — never to ``repro.sim``,
+``repro.comm`` or ``repro.ps`` directly.
+
+Calling convention
+------------------
+Every communication or compute primitive is *driven as a generator
+coroutine* (``yield from``), exactly like the simulator's processes.  The
+two backends meet that contract differently:
+
+* ``SimBackend`` returns the existing engine coroutines unchanged — they
+  yield :class:`~repro.sim.Delay` / event commands into the virtual-time
+  scheduler.
+* ``MPBackend`` returns *no-yield* generators built with :func:`blocking`:
+  the body performs the real blocking operation (shared-memory barrier,
+  queue round-trip) and returns before ever yielding.  ``yield from``
+  therefore degenerates to a plain call, and the same trainer source runs
+  on both substrates.
+
+A trainer coroutine must never assume anything about what the yielded
+commands *are*; only the backend interprets them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..algos.distributed import DistributedTrainer
+    from ..obs.runtime import ObsSession
+
+__all__ = [
+    "LearnerFailure",
+    "Collective",
+    "PSClientLike",
+    "ParameterServerHandle",
+    "RunStats",
+    "Backend",
+    "blocking",
+]
+
+
+class LearnerFailure(RuntimeError):
+    """A learner died (injected failure or real crash) and took the run down.
+
+    Carries ``learner_id`` and ``step`` (local steps the learner completed
+    before dying) so harnesses can tell *which* worker failed — the typed
+    replacement for the bare ``RuntimeError`` the trainers used to raise.
+    The message always contains the word "deadlocked" because that is the
+    observable symptom for bulk-synchronous peers (they stall at the next
+    collective) and what existing failure-injection tests match on.
+    """
+
+    def __init__(
+        self,
+        learner_id: Optional[int] = None,
+        step: Optional[int] = None,
+        message: Optional[str] = None,
+    ) -> None:
+        if message is None:
+            who = "a learner" if learner_id is None else f"learner{learner_id}"
+            at = "" if step is None else f" after {step} local steps"
+            message = (
+                f"{who} died{at}; surviving bulk-synchronous peers deadlocked "
+                "at the next collective"
+            )
+        super().__init__(message)
+        self.learner_id = learner_id
+        self.step = step
+
+
+def blocking(fn, *args, **kwargs) -> Generator:
+    """Adapt a blocking callable to the coroutine calling convention.
+
+    Returns a generator that runs ``fn`` to completion on the first
+    ``next()`` and immediately raises ``StopIteration(fn(...))`` — i.e.
+    ``result = yield from blocking(fn, ...)`` is a plain call that still
+    type-checks as a coroutine.  Real-execution backends use this so the
+    trainers' ``yield from`` sites need no per-backend branching.
+    """
+    return fn(*args, **kwargs)
+    yield  # pragma: no cover - unreachable; makes this a generator function
+
+
+class Collective(ABC):
+    """SPMD collectives over whatever transport the backend provides.
+
+    Every method returns a coroutine; ``rank`` identifies the calling
+    learner.  ``nbytes`` is advisory (simulated-wire payload size); ``ctx``
+    must be unique per call-site occurrence so successive rounds cannot
+    cross-talk (the simulated fabric keys messages on it; shared-memory
+    transports may ignore it).
+    """
+
+    @abstractmethod
+    def broadcast(
+        self,
+        rank: int,
+        array: Optional[np.ndarray],
+        root: int = 0,
+        nbytes: float = 0.0,
+        ctx: Any = 0,
+    ) -> Generator:
+        """Broadcast ``array`` from ``root``; every rank returns the data."""
+
+    @abstractmethod
+    def allreduce(
+        self,
+        rank: int,
+        array: np.ndarray,
+        nbytes: float = 0.0,
+        ctx: Any = 0,
+        algorithm: str = "recursive_doubling",
+    ) -> Generator:
+        """Sum-allreduce ``array`` across ranks; returns the reduced array.
+
+        ``algorithm`` selects the wire schedule where the transport offers a
+        choice (the simulated fabric: ring / recursive_doubling / tree); a
+        shared-memory transport may ignore it.
+        """
+
+    @abstractmethod
+    def allgather(
+        self,
+        rank: int,
+        item: Any,
+        nbytes: float = 0.0,
+        ctx: Any = 0,
+    ) -> Generator:
+        """Gather one (possibly non-array) item per rank, in rank order."""
+
+
+class PSClientLike(ABC):
+    """One learner's connection to a parameter server.
+
+    Mirrors :class:`repro.ps.server.PSClient`: ``push``/``pull``/``elastic``
+    return coroutines, and ``staleness_samples`` accumulates the per-push
+    staleness measurements (paper Sec. II-B).
+    """
+
+    staleness_samples: List[int]
+
+    @abstractmethod
+    def push(self, grad: Optional[np.ndarray]) -> Generator:
+        """Apply an accumulated gradient at the server; returns staleness."""
+
+    @abstractmethod
+    def pull(self) -> Generator:
+        """Fetch the full parameter vector (may mix shard versions)."""
+
+    @abstractmethod
+    def elastic(self, x_local: Optional[np.ndarray], alpha: float) -> Generator:
+        """One EASGD exchange; returns the elastic difference ``e``."""
+
+
+class ParameterServerHandle(ABC):
+    """A sharded parameter server owned by the backend.
+
+    Exposes the surface the trainers and tests rely on: ``x`` (the center /
+    parameter vector), ``layout`` (shard partition), ``pushes_applied``, and
+    per-rank clients.
+    """
+
+    @property
+    @abstractmethod
+    def x(self) -> np.ndarray:
+        """The server-resident parameter vector (live view or final copy)."""
+
+    @property
+    @abstractmethod
+    def layout(self):
+        """The :class:`~repro.ps.server.ShardLayout` partition."""
+
+    @property
+    @abstractmethod
+    def pushes_applied(self) -> int:
+        """Total pushes applied across shards (valid after ``train()``)."""
+
+    @abstractmethod
+    def set_params(self, x0: np.ndarray) -> None:
+        """Install the shared starting point (learner 0's initialisation)."""
+
+    @abstractmethod
+    def client(self, rank: int) -> PSClientLike:
+        """The calling rank's connection to every shard."""
+
+
+@dataclass
+class RunStats:
+    """What a backend reports back from one ``run()``.
+
+    ``duration`` is in the backend's native clock: virtual seconds for the
+    simulator, wall-clock seconds for real execution — it becomes the
+    result's ``virtual_seconds`` either way (the time axis the curves are
+    plotted against).
+    """
+
+    duration: float
+    extras: Dict[str, object] = field(default_factory=dict)
+
+
+class Backend(ABC):
+    """One execution substrate: workers + clock + transport factories.
+
+    Lifecycle: the trainer constructs a backend (or receives one), calls
+    :meth:`bind` exactly once from ``__init__`` (the backend builds its
+    plumbing and publishes :attr:`collective`), optionally calls
+    :meth:`make_ps`, and finally :meth:`run` drives one ``_learner_proc``
+    coroutine per learner to completion and returns :class:`RunStats`.
+
+    ``sample_scale`` is the factor the metrics tape multiplies each recorded
+    batch by: 1 when every learner's batches reach the tape (sim), ``p``
+    when only rank 0's do (one tape per worker process).
+    """
+
+    name: str = "abstract"
+    sample_scale: int = 1
+    collective: Collective
+
+    @abstractmethod
+    def bind(self, trainer: "DistributedTrainer") -> None:
+        """Attach to ``trainer`` and build transports.  Called once."""
+
+    @abstractmethod
+    def clock(self) -> float:
+        """The backend's native time (virtual or wall seconds)."""
+
+    @abstractmethod
+    def spawn_rngs(self, n: int) -> List[np.random.Generator]:
+        """``n`` deterministic child RNG streams off the run seed tree."""
+
+    @abstractmethod
+    def compute(self, lid: int, flops: float) -> Generator:
+        """Coroutine accounting for one minibatch's compute cost.
+
+        The simulator charges ``device.compute_seconds(flops) × residency``
+        of virtual time; a real backend does nothing (the math itself *is*
+        the cost and runs inside the worker).
+        """
+
+    @abstractmethod
+    def comm(self, lid: int, coroutine: Generator) -> Generator:
+        """Drive ``coroutine`` under communication-time accounting."""
+
+    @abstractmethod
+    def make_ps(
+        self,
+        size: int,
+        n_shards: int,
+        learning_rate: float,
+        dtype,
+    ) -> ParameterServerHandle:
+        """Build the sharded parameter server for PS-based trainers."""
+
+    @abstractmethod
+    def run(self, trainer: "DistributedTrainer") -> RunStats:
+        """Execute one ``trainer._learner_proc(lid)`` per learner to
+        completion; raise :class:`LearnerFailure` when an injected failure
+        stalls the run, or ``RuntimeError`` for genuine algorithm bugs."""
+
+    # -- optional hooks (sensible defaults) ---------------------------------
+
+    def should_record(self, lid: int) -> bool:
+        """Whether learner ``lid`` should score/record epoch boundaries.
+
+        Sim: every learner shares one tape, so all of them may record.
+        Per-process backends: only rank 0's tape survives, so only it does.
+        """
+        return True
+
+    def note_failure(self, lid: int, step: int) -> None:
+        """A trainer reports an *injected* learner death (``fail_at``).
+
+        Backends use the note to raise a precise :class:`LearnerFailure`
+        instead of a generic deadlock diagnosis.  Default: ignore.
+        """
+
+    def publish_obs(
+        self, trainer: "DistributedTrainer", sess: "ObsSession", wall: float
+    ) -> None:
+        """Publish end-of-run metrics/trace into the active obs session."""
+
+
+def resolve_members(p: int) -> Sequence[str]:
+    """Canonical rank names, shared by backends and their diagnostics."""
+    return [f"learner{i}" for i in range(p)]

@@ -1,0 +1,634 @@
+"""MPBackend — real parallel execution on host cores.
+
+The same trainer coroutines that run in virtual time on :class:`SimBackend`
+run here as genuine OS processes (``multiprocessing`` with the ``fork``
+start method, so workers inherit the fully-constructed trainer without
+pickling):
+
+* **Collectives** move the flat parameter vector through
+  ``multiprocessing.shared_memory`` segments: each rank publishes its input
+  into its own segment, a barrier aligns the round, every rank reduces its
+  owned contiguous chunk into a shared result segment (a chunked
+  reduce-scatter), a second barrier publishes the sums, and every rank
+  copies the full result back out (the allgather half).  Object allgather
+  (compressed SASGD's sparse pieces) rides per-rank queues instead.
+* **Parameter server** shards are separate processes, each exclusively
+  owning a contiguous slice of one shared parameter segment — requests
+  arrive on a per-shard queue and are applied in genuine arrival order, so
+  the staleness the paper measures is real scheduler nondeterminism, not a
+  model of it.
+* **Failure handling**: a dying worker breaks the collective barrier (or
+  stops answering), surviving ranks raise, and the parent converts the
+  wreckage into a typed :class:`~repro.runtime.LearnerFailure` using the
+  ``fail_at`` note the dead learner left behind.
+
+Determinism: per-rank RNG streams and minibatch order are identical to the
+sim backend (same ``SeedSequence`` tree), so SASGD's trajectories differ
+from sim only by floating-point summation order; PS-based algorithms see
+real (nondeterministic) arrival order, which is the point.
+
+Results: only rank 0's metrics tape survives (one tape per process), so the
+tape scales each recorded batch by ``p`` (``sample_scale``) to keep the
+collective sample counter honest; algorithm-specific state travels back
+through the trainers' ``_worker_export`` / ``_worker_import`` hooks.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Any, Generator, List, Optional
+
+import numpy as np
+
+from ..ps.server import ShardLayout
+from .api import (
+    Backend,
+    Collective,
+    LearnerFailure,
+    ParameterServerHandle,
+    PSClientLike,
+    RunStats,
+    blocking,
+)
+
+__all__ = ["MPBackend", "MPCollective", "MPParameterServer"]
+
+_JOIN_GRACE = 5.0  # seconds to wait for an already-signalled process
+
+
+def _noop() -> None:
+    return None
+
+
+def _unlink_quietly(shm: Optional[shared_memory.SharedMemory]) -> None:
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # already gone / torn down twice
+        pass
+
+
+class MPCollective(Collective):
+    """Chunked reduce-scatter/allgather allreduce over shared memory."""
+
+    def __init__(self, ctx, p: int, timeout: float) -> None:
+        self._ctx = ctx
+        self.p = p
+        self.timeout = timeout
+        self.bytes_moved = 0.0  # per-process accumulator after fork
+        self._size = 0
+        self._dtype: Optional[np.dtype] = None
+        self._shm_in: List[shared_memory.SharedMemory] = []
+        self._shm_out: Optional[shared_memory.SharedMemory] = None
+        self._barrier = None
+        self._queues = None
+        self._bounds: List[Any] = []
+        self._stash: dict = {}  # tag -> [(src, item)] received out of round
+
+    def allocate(self, size: int, dtype) -> None:
+        """Create the shared segments/barrier.  Must run before fork."""
+        if self._barrier is not None:
+            raise RuntimeError("collective already allocated")
+        self._size = int(size)
+        self._dtype = np.dtype(dtype)
+        nbytes = max(1, self._size * self._dtype.itemsize)
+        self._shm_in = [
+            shared_memory.SharedMemory(create=True, size=nbytes)
+            for _ in range(self.p)
+        ]
+        self._shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._barrier = self._ctx.Barrier(self.p)
+        self._queues = [self._ctx.Queue() for _ in range(self.p)]
+        edges = np.linspace(0, self._size, self.p + 1).astype(int)
+        self._bounds = list(zip(edges[:-1], edges[1:]))
+
+    def teardown(self) -> None:
+        for shm in self._shm_in:
+            _unlink_quietly(shm)
+        _unlink_quietly(self._shm_out)
+        self._shm_in = []
+        self._shm_out = None
+        self._barrier = None
+        self._queues = None
+
+    def _view(self, shm: shared_memory.SharedMemory) -> np.ndarray:
+        return np.ndarray((self._size,), dtype=self._dtype, buffer=shm.buf)
+
+    def _wait(self) -> None:
+        try:
+            self._barrier.wait(self.timeout)
+        except threading.BrokenBarrierError:
+            raise LearnerFailure(
+                message="a peer died mid-collective; the shared-memory "
+                "barrier broke and the surviving ranks deadlocked"
+            ) from None
+
+    # -- Collective API -----------------------------------------------------
+
+    def broadcast(self, rank, array, root=0, nbytes=0.0, ctx=0) -> Generator:
+        return blocking(self._broadcast, rank, array, root)
+
+    def _broadcast(self, rank: int, array, root: int) -> np.ndarray:
+        if self.p == 1:
+            return np.array(array, copy=True)
+        if rank == root:
+            self._view(self._shm_out)[:] = array
+        self._wait()  # result segment holds the root's data
+        out = np.array(self._view(self._shm_out), copy=True)
+        self._wait()  # nobody may overwrite the segment before all copied
+        self.bytes_moved += float(out.nbytes)
+        return out
+
+    def allreduce(
+        self, rank, array, nbytes=0.0, ctx=0, algorithm="recursive_doubling"
+    ) -> Generator:
+        # `algorithm` picks a wire schedule on the simulated fabric; shared
+        # memory has exactly one sensible schedule, so it is accepted and
+        # ignored here.
+        return blocking(self._allreduce, rank, array)
+
+    def _allreduce(self, rank: int, array: np.ndarray) -> np.ndarray:
+        if self.p == 1:
+            return np.array(array, copy=True)
+        if array.size != self._size or array.dtype != self._dtype:
+            raise ValueError(
+                f"allreduce expects a ({self._size},) {self._dtype} vector, "
+                f"got {array.shape} {array.dtype}"
+            )
+        self._view(self._shm_in[rank])[:] = array
+        self._wait()  # every rank's input is published
+        lo, hi = self._bounds[rank]
+        if hi > lo:
+            # reduce-scatter: this rank owns [lo, hi) and sums it in a fixed
+            # peer order, so the result is deterministic given the inputs
+            acc = np.array(self._view(self._shm_in[0])[lo:hi], copy=True)
+            for peer in range(1, self.p):
+                acc += self._view(self._shm_in[peer])[lo:hi]
+            self._view(self._shm_out)[lo:hi] = acc
+        self._wait()  # every chunk is reduced
+        out = np.array(self._view(self._shm_out), copy=True)
+        self._wait()  # allgather complete; segments may be reused
+        self.bytes_moved += 2.0 * float(array.nbytes)
+        return out
+
+    def allgather(self, rank, item, nbytes=0.0, ctx=0) -> Generator:
+        return blocking(self._allgather, rank, item, ctx, nbytes)
+
+    def _allgather(self, rank: int, item, tag, nbytes: float) -> List[Any]:
+        if self.p == 1:
+            return [item]
+        for peer in range(self.p):
+            if peer != rank:
+                self._queues[peer].put((tag, rank, item))
+        pieces: List[Any] = [None] * self.p
+        pieces[rank] = item
+        need = self.p - 1
+        # a fast peer may already be one round ahead; its items were stashed
+        for src, stashed in self._stash.pop(tag, []):
+            pieces[src] = stashed
+            need -= 1
+        while need > 0:
+            try:
+                got_tag, src, payload = self._queues[rank].get(timeout=self.timeout)
+            except queue.Empty:
+                raise LearnerFailure(
+                    message=f"allgather({tag!r}) starved for {self.timeout}s; "
+                    "a peer died and the surviving ranks deadlocked"
+                ) from None
+            if got_tag != tag:
+                self._stash.setdefault(got_tag, []).append((src, payload))
+                continue
+            pieces[src] = payload
+            need -= 1
+        self.bytes_moved += 2.0 * float(nbytes) * (self.p - 1)
+        return pieces
+
+
+def _ps_shard_main(ps: "MPParameterServer", sid: int) -> None:
+    """One shard process: exclusive owner of x[lo:hi], serves in arrival order."""
+    lo, hi = ps.layout.bounds[sid]
+    x = np.ndarray((ps.size,), dtype=ps.dtype, buffer=ps._shm.buf)
+    version = 0
+    pushes = 0
+    while True:
+        req = ps.req_queues[sid].get()
+        if req[0] == "stop":
+            ps.stats_queue.put((sid, version, pushes))
+            return
+        kind, rank, seq, payload, extra = req
+        if kind == "push":
+            if payload is not None:
+                x[lo:hi] -= ps.learning_rate * payload
+            version += 1
+            pushes += 1
+            ps.reply_queues[rank].put((sid, seq, version))
+        elif kind == "pull":
+            ps.reply_queues[rank].put((sid, seq, (x[lo:hi].copy(), version)))
+        elif kind == "elastic":
+            if payload is None:
+                e = None
+            else:
+                e = extra * (payload - x[lo:hi])
+                x[lo:hi] += e
+            version += 1
+            ps.reply_queues[rank].put((sid, seq, (e, version)))
+        else:
+            ps.reply_queues[rank].put((sid, seq, ValueError(f"unknown kind {kind!r}")))
+
+
+class MPPSClient(PSClientLike):
+    """One rank's blocking connection to every shard (same staleness
+    accounting as the simulated :class:`~repro.ps.server.PSClient`)."""
+
+    def __init__(self, ps: "MPParameterServer", rank: int) -> None:
+        self.ps = ps
+        self.rank = rank
+        self._seq = 0
+        self.staleness_samples: List[int] = []
+        self._pull_version = 0
+        self._pull_versions = [0] * ps.layout.n_shards
+
+    def _request(self, sid: int, kind: str, payload, extra=None):
+        self._seq += 1
+        ps = self.ps
+        ps.req_queues[sid].put((kind, self.rank, self._seq, payload, extra))
+        try:
+            rsid, rseq, reply = ps.reply_queues[self.rank].get(timeout=ps.timeout)
+        except queue.Empty:
+            raise LearnerFailure(
+                self.rank,
+                None,
+                f"parameter-server shard {sid} gave no reply within "
+                f"{ps.timeout}s; the run deadlocked",
+            ) from None
+        if (rsid, rseq) != (sid, self._seq):
+            raise RuntimeError(
+                f"ps protocol error: expected reply ({sid}, {self._seq}), "
+                f"got ({rsid}, {rseq})"
+            )
+        if isinstance(reply, Exception):
+            raise reply
+        return reply
+
+    def push(self, grad: Optional[np.ndarray]) -> Generator:
+        return blocking(self._push, grad)
+
+    def _push(self, grad: Optional[np.ndarray]) -> int:
+        ps = self.ps
+        version_now = 0
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            payload = None if grad is None else np.array(grad[lo:hi], copy=True)
+            v = self._request(sid, "push", payload)
+            version_now += int(v)
+            ps.bytes_moved += ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        staleness = max(0, version_now - self._pull_version - ps.layout.n_shards)
+        self.staleness_samples.append(staleness)
+        return staleness
+
+    def pull(self) -> Generator:
+        return blocking(self._pull)
+
+    def _pull(self) -> np.ndarray:
+        ps = self.ps
+        out = np.empty(ps.size, dtype=ps.dtype)
+        version = 0
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            reply, v = self._request(sid, "pull", None)
+            version += int(v)
+            self._pull_versions[sid] = int(v)
+            out[lo:hi] = reply
+            ps.bytes_moved += ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        self._pull_version = version
+        return out
+
+    def elastic(self, x_local: Optional[np.ndarray], alpha: float) -> Generator:
+        return blocking(self._elastic, x_local, alpha)
+
+    def _elastic(self, x_local: Optional[np.ndarray], alpha: float) -> np.ndarray:
+        ps = self.ps
+        out = np.empty(ps.size, dtype=ps.dtype)
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            payload = None if x_local is None else np.array(x_local[lo:hi], copy=True)
+            e, v = self._request(sid, "elastic", payload, extra=alpha)
+            self._pull_versions[sid] = int(v)
+            if e is not None:
+                out[lo:hi] = e
+            ps.bytes_moved += 2.0 * ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        return out
+
+
+class MPParameterServer(ParameterServerHandle):
+    """Sharded PS over one shared parameter segment + per-shard processes."""
+
+    def __init__(self, ctx, p: int, size: int, n_shards: int,
+                 learning_rate: float, dtype, timeout: float) -> None:
+        self._ctx = ctx
+        self.p = p
+        self.size = int(size)
+        self._layout = ShardLayout.even(size, n_shards)
+        self.learning_rate = learning_rate
+        self.dtype = np.dtype(dtype)
+        self.timeout = timeout
+        self.bytes_moved = 0.0  # per-process accumulator after fork
+        self._shm: Optional[shared_memory.SharedMemory] = shared_memory.SharedMemory(
+            create=True, size=max(1, self.size * self.dtype.itemsize)
+        )
+        self._x_view: Optional[np.ndarray] = np.ndarray(
+            (self.size,), dtype=self.dtype, buffer=self._shm.buf
+        )
+        self._x_view[:] = 0
+        self.req_queues = [ctx.Queue() for _ in range(n_shards)]
+        self.reply_queues = [ctx.Queue() for _ in range(p)]
+        self.stats_queue = ctx.Queue()
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._pushes_applied = 0
+        self.versions = [0] * n_shards
+        self._x_final: Optional[np.ndarray] = None
+
+    # -- handle surface ------------------------------------------------------
+
+    @property
+    def x(self) -> np.ndarray:
+        if self._x_final is not None:
+            return self._x_final
+        return self._x_view
+
+    @property
+    def layout(self) -> ShardLayout:
+        return self._layout
+
+    @property
+    def pushes_applied(self) -> int:
+        return self._pushes_applied
+
+    def set_params(self, x0: np.ndarray) -> None:
+        if x0.shape != (self.size,):
+            raise ValueError(f"shape mismatch: {x0.shape} vs ({self.size},)")
+        self._x_view[:] = x0
+
+    def client(self, rank: int) -> MPPSClient:
+        return MPPSClient(self, rank)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._procs:
+            return
+        self._procs = [
+            self._ctx.Process(
+                target=_ps_shard_main, args=(self, sid),
+                name=f"repro-ps{sid}", daemon=True,
+            )
+            for sid in range(self._layout.n_shards)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def shutdown(self) -> None:
+        """Stop shards, harvest their counters, snapshot x, free the segment."""
+        if self._shm is None:
+            return
+        if self._procs:
+            for sid in range(self._layout.n_shards):
+                self.req_queues[sid].put(("stop",))
+            for _ in self._procs:
+                try:
+                    sid, version, pushes = self.stats_queue.get(timeout=_JOIN_GRACE)
+                except queue.Empty:
+                    break
+                self.versions[sid] = version
+                self._pushes_applied += pushes
+            for proc in self._procs:
+                proc.join(timeout=_JOIN_GRACE)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_GRACE)
+            self._procs = []
+        self._x_final = np.array(self._x_view, copy=True)
+        self._x_view = None
+        _unlink_quietly(self._shm)
+        self._shm = None
+
+    def __del__(self):  # safety net; normal path is MPBackend.run's finally
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+def _worker_main(trainer, lid: int, result_q) -> None:
+    """Drive one learner coroutine to completion inside a forked worker."""
+    backend = trainer.backend
+    t0 = time.perf_counter()
+    try:
+        for command in trainer._learner_proc(lid):
+            raise RuntimeError(
+                f"trainer yielded simulator command {command!r} on the mp "
+                "backend; route it through the repro.runtime interfaces"
+            )
+        wall = time.perf_counter() - t0
+        ps_bytes = backend._ps.bytes_moved if backend._ps is not None else 0.0
+        data = {
+            "records": trainer.tape.records if lid == 0 else None,
+            "samples": trainer.tape.samples,
+            "flat": np.array(trainer.workloads[lid].flat.data, copy=True)
+            if lid == 0
+            else None,
+            "export": trainer._worker_export(lid),
+            "failed_at": None if backend._failure is None else backend._failure[1],
+            "comm_seconds": backend._comm_seconds,
+            "wall_seconds": wall,
+            "bytes": backend.collective.bytes_moved + ps_bytes,
+        }
+        result_q.put(("done", lid, data))
+    except BaseException as exc:  # noqa: BLE001 - must never hang the parent
+        failed_at = None if backend._failure is None else backend._failure[1]
+        result_q.put(
+            ("error", lid, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "failed_at": failed_at,
+            })
+        )
+
+
+class MPBackend(Backend):
+    """Wall-clock parallel execution: one OS process per learner."""
+
+    name = "mp"
+
+    def __init__(self, timeout: float = 120.0, start_method: str = "fork") -> None:
+        if start_method not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                f"mp backend needs the {start_method!r} start method "
+                "(workers inherit the constructed trainer); not available "
+                "on this platform"
+            )
+        if start_method != "fork":
+            raise RuntimeError(
+                "mp backend currently supports only the 'fork' start method"
+            )
+        self._ctx = multiprocessing.get_context(start_method)
+        self.timeout = timeout
+        self.collective: Optional[MPCollective] = None
+        self._trainer = None
+        self._ps: Optional[MPParameterServer] = None
+        self._seed_seq: Optional[np.random.SeedSequence] = None
+        self._failure = None  # (lid, step) noted in the worker that died
+        self._comm_seconds = 0.0  # per-process accumulator after fork
+        self._t0: Optional[float] = None
+        self._duration = 0.0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, trainer) -> None:
+        if self._trainer is not None:
+            raise RuntimeError("a backend instance drives exactly one trainer")
+        self._trainer = trainer
+        self.sample_scale = trainer.config.p
+        self._seed_seq = np.random.SeedSequence(trainer.config.seed)
+        self.collective = MPCollective(self._ctx, trainer.config.p, self.timeout)
+
+    def clock(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return time.perf_counter() - self._t0
+
+    def spawn_rngs(self, n: int) -> List[np.random.Generator]:
+        return [np.random.default_rng(s) for s in self._seed_seq.spawn(n)]
+
+    # -- per-step primitives ------------------------------------------------
+
+    def compute(self, lid: int, flops: float) -> Generator:
+        # real math *is* the compute cost; nothing to account separately
+        return blocking(_noop)
+
+    def comm(self, lid: int, coroutine: Generator) -> Generator:
+        t0 = time.perf_counter()
+        result = yield from coroutine
+        self._comm_seconds += time.perf_counter() - t0
+        return result
+
+    def make_ps(self, size, n_shards, learning_rate, dtype) -> MPParameterServer:
+        if self._ps is not None:
+            raise RuntimeError("mp backend supports one parameter server per run")
+        self._ps = MPParameterServer(
+            self._ctx, self._trainer.config.p, size, n_shards,
+            learning_rate, dtype, self.timeout,
+        )
+        return self._ps
+
+    def should_record(self, lid: int) -> bool:
+        return lid == 0  # only rank 0's tape survives the fork
+
+    def note_failure(self, lid: int, step: int) -> None:
+        if self._failure is None:
+            self._failure = (lid, step)
+
+    # -- the run driver -----------------------------------------------------
+
+    def run(self, trainer) -> RunStats:
+        p = trainer.config.p
+        flat = trainer.workloads[0].flat
+        self.collective.allocate(flat.size, flat.data.dtype)
+        if self._ps is not None:
+            self._ps.start()
+        result_q = self._ctx.Queue()
+        payloads: dict = {}
+        errors: dict = {}
+        procs = []
+        self._t0 = time.perf_counter()
+        try:
+            procs = [
+                self._ctx.Process(
+                    target=_worker_main, args=(trainer, lid, result_q),
+                    name=trainer.learner_names[lid], daemon=True,
+                )
+                for lid in range(p)
+            ]
+            for proc in procs:
+                proc.start()
+            # drain results BEFORE joining: a worker blocks at exit until its
+            # queue payload is flushed, so join-first would deadlock
+            for _ in range(p):
+                try:
+                    kind, lid, data = result_q.get(timeout=self.timeout + 10.0)
+                except queue.Empty:
+                    break
+                if kind == "done":
+                    payloads[lid] = data
+                else:
+                    errors[lid] = data
+            self._duration = time.perf_counter() - self._t0
+            for proc in procs:
+                proc.join(timeout=_JOIN_GRACE)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_GRACE)
+            if self._ps is not None:
+                self._ps.shutdown()
+            self.collective.teardown()
+
+        for lid in sorted(payloads):
+            failed_at = payloads[lid]["failed_at"]
+            if failed_at is not None:
+                self.note_failure(lid, failed_at)
+        missing = [
+            lid for lid in range(p) if lid not in payloads and lid not in errors
+        ]
+        if errors or missing:
+            if self._failure is not None:
+                lid, step = self._failure
+                raise LearnerFailure(
+                    lid,
+                    step,
+                    f"learner{lid} died after {step} local steps (injected "
+                    "failure); surviving workers deadlocked at the next "
+                    "collective and were reaped",
+                )
+            detail = "; ".join(
+                f"learner{lid}: {errors[lid]['error']}" for lid in sorted(errors)
+            )
+            if missing:
+                sep = "; " if detail else ""
+                detail = f"{detail}{sep}no result from workers {missing}"
+            raise RuntimeError(f"mp backend run failed ({detail})")
+        data0 = payloads[0]
+        trainer.tape.records = data0["records"]
+        trainer.tape.samples = data0["samples"]
+        trainer.workloads[0].flat.set_data(data0["flat"])
+        for lid in sorted(payloads):
+            trainer._worker_import(lid, payloads[lid]["export"])
+
+        comm = [payloads[lid]["comm_seconds"] for lid in sorted(payloads)]
+        walls = [payloads[lid]["wall_seconds"] for lid in sorted(payloads)]
+        mean_comm = float(np.mean(comm)) if comm else 0.0
+        mean_wall = float(np.mean(walls)) if walls else 0.0
+        extras = {
+            "total_bytes": float(sum(payloads[lid]["bytes"] for lid in payloads)),
+            "comm_seconds_per_learner": mean_comm,
+            # wall minus comm: includes rank 0's eval overhead, documented
+            # as an approximation in DESIGN.md §8
+            "compute_seconds_per_learner": max(0.0, mean_wall - mean_comm),
+            "comm_fraction": (mean_comm / mean_wall) if mean_wall > 0 else 0.0,
+            "workers": p,
+        }
+        return RunStats(duration=self._duration, extras=extras)
+
+    def publish_obs(self, trainer, sess, wall: float) -> None:
+        if trainer._obs is not None:
+            trainer._obs.finish(trainer.tape.samples, self._duration, wall)
+        sess.add_run(
+            f"{trainer.algorithm} {trainer.problem.name} "
+            f"p={trainer.config.p} (mp)",
+            [],
+            [],
+            self._duration,
+        )

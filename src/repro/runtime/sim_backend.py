@@ -1,0 +1,241 @@
+"""SimBackend — the discrete-event virtual-time substrate.
+
+Adapts the existing simulator stack (:mod:`repro.sim` engine,
+:mod:`repro.cluster` machine/topology, :mod:`repro.comm` fabric +
+collectives, :mod:`repro.ps` sharded server) to the :mod:`repro.runtime`
+contract.  This is a pure re-seating of code that used to live inside
+``DistributedTrainer``: construction order, RNG stream consumption, engine
+process spawn order and tracer span names are all preserved exactly, so a
+trainer on this backend is **bit-identical** to the pre-runtime
+implementation — same seed → same ``TrainResult`` curves, byte counts and
+virtual timings (the backend-equivalence suite pins this against golden
+numbers captured from ``main``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import Generator, List, Optional
+
+from ..cluster.machine import Machine, power8_oss_spec
+from ..comm import collectives as _coll
+from ..comm.fabric import Endpoint, Fabric
+from ..ps.server import PSClient, ShardedParameterServer
+from ..sim import Delay
+from .api import (
+    Backend,
+    Collective,
+    LearnerFailure,
+    ParameterServerHandle,
+    PSClientLike,
+    RunStats,
+)
+
+__all__ = ["SimBackend", "SimCollective", "SimParameterServer"]
+
+
+class SimCollective(Collective):
+    """The classic MPI algorithms over the simulated point-to-point fabric."""
+
+    def __init__(self, endpoints: List[Endpoint], members: List[str]) -> None:
+        self.endpoints = endpoints
+        self.members = members
+
+    def broadcast(self, rank, array, root=0, nbytes=0.0, ctx=0) -> Generator:
+        return _coll.broadcast(
+            self.endpoints[rank], self.members, rank, array,
+            root=root, nbytes=nbytes, ctx=ctx,
+        )
+
+    def allreduce(
+        self, rank, array, nbytes=0.0, ctx=0, algorithm="recursive_doubling"
+    ) -> Generator:
+        return _coll.allreduce(
+            self.endpoints[rank], self.members, rank, array,
+            nbytes=nbytes, ctx=ctx, algorithm=algorithm,
+        )
+
+    def allgather(self, rank, item, nbytes=0.0, ctx=0) -> Generator:
+        return _coll.allgather_ring(
+            self.endpoints[rank], self.members, rank, item,
+            nbytes=nbytes, ctx=ctx,
+        )
+
+
+class SimParameterServer(ParameterServerHandle):
+    """Handle over :class:`~repro.ps.server.ShardedParameterServer`.
+
+    ``impl`` is the underlying server; ``x``/``layout``/``pushes_applied``
+    delegate to it so tests that inspect server state keep working.
+    """
+
+    def __init__(self, backend: "SimBackend", impl: ShardedParameterServer) -> None:
+        self._backend = backend
+        self.impl = impl
+
+    @property
+    def x(self) -> np.ndarray:
+        return self.impl.x
+
+    @property
+    def layout(self):
+        return self.impl.layout
+
+    @property
+    def pushes_applied(self) -> int:
+        return self.impl.pushes_applied
+
+    @property
+    def versions(self):
+        return self.impl.versions
+
+    def set_params(self, x0: np.ndarray) -> None:
+        self.impl.set_params(x0)
+
+    def client(self, rank: int) -> PSClientLike:
+        return PSClient(self.impl, self._backend.endpoints[rank])
+
+    def stop(self) -> None:
+        self.impl.stop()
+
+
+# PSClient already satisfies the PSClientLike surface (push/pull/elastic
+# coroutines + staleness_samples); register it so isinstance checks pass
+# without forcing an inheritance edge from repro.ps onto repro.runtime.
+PSClientLike.register(PSClient)
+
+
+class SimBackend(Backend):
+    """Virtual-time execution on the simulated POWER8 cluster."""
+
+    name = "sim"
+    sample_scale = 1
+
+    def __init__(self, machine: Optional[Machine] = None) -> None:
+        self._injected_machine = machine
+        self.machine: Optional[Machine] = None
+        self.fabric: Optional[Fabric] = None
+        self.endpoints: List[Endpoint] = []
+        self.collective: Optional[SimCollective] = None
+        self._trainer = None
+        self._failure = None  # (lid, step) noted by an injected fail_at
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, trainer) -> None:
+        if self._trainer is not None:
+            raise RuntimeError("a backend instance drives exactly one trainer")
+        self._trainer = trainer
+        config = trainer.config
+        self.machine = (
+            self._injected_machine
+            if self._injected_machine is not None
+            else Machine(power8_oss_spec(n_gpus=8), seed=config.seed)
+        )
+        self.fabric = Fabric(
+            self.machine.engine,
+            self.machine.topology,
+            tracer=self.machine.tracer,
+            contention=config.contention,
+        )
+        p = config.p
+        self.placement = self.machine.place_learners(p)
+        residency = self.machine.residency(self.placement)
+        self.residency = [residency[dev] for dev in self.placement]
+        self.endpoints = [
+            self.fabric.attach(trainer.learner_names[i], self.placement[i])
+            for i in range(p)
+        ]
+        self.collective = SimCollective(self.endpoints, trainer.learner_names)
+
+    def clock(self) -> float:
+        return self.machine.engine.now
+
+    def spawn_rngs(self, n: int) -> List[np.random.Generator]:
+        return self.machine.spawn_rngs(n)
+
+    # -- per-step primitives ------------------------------------------------
+
+    def compute(self, lid: int, flops: float) -> Generator:
+        device = self.machine.devices[self.placement[lid]]
+        dur = device.compute_seconds(flops) * self.residency[lid]
+        name = self._trainer.learner_names[lid]
+        self.machine.tracer.begin(name, "compute")
+        yield Delay(dur)
+        self.machine.tracer.end(name, "compute")
+
+    def comm(self, lid: int, coroutine: Generator) -> Generator:
+        result = yield from self.machine.tracer.timed(
+            self._trainer.learner_names[lid], "comm", coroutine
+        )
+        return result
+
+    def make_ps(self, size, n_shards, learning_rate, dtype) -> SimParameterServer:
+        impl = ShardedParameterServer(
+            self.machine,
+            self.fabric,
+            size=size,
+            n_shards=n_shards,
+            learning_rate=learning_rate,
+            dtype=dtype,
+        )
+        return SimParameterServer(self, impl)
+
+    def note_failure(self, lid: int, step: int) -> None:
+        if self._failure is None:
+            self._failure = (lid, step)
+
+    # -- the run driver -----------------------------------------------------
+
+    def run(self, trainer) -> RunStats:
+        engine = self.machine.engine
+        procs = [
+            engine.spawn(trainer._learner_proc(lid), name=trainer.learner_names[lid])
+            for lid in range(trainer.config.p)
+        ]
+        engine.run()
+        for proc in procs:
+            if not proc.finished:
+                if self._failure is not None:
+                    lid, step = self._failure
+                    raise LearnerFailure(
+                        lid,
+                        step,
+                        f"{proc.name} deadlocked: learner{lid} died after "
+                        f"{step} local steps (injected failure) and its "
+                        "bulk-synchronous peers stalled at the next collective",
+                    )
+                raise RuntimeError(
+                    f"{proc.name} deadlocked: a bulk-synchronous peer died "
+                    "mid-interval (injected failure?) or this is an algorithm bug"
+                )
+        mean_bd = self.machine.tracer.mean_breakdown(trainer.learner_names)
+        extras = {
+            "total_bytes": self.fabric.total_bytes,
+            "comm_seconds_per_learner": mean_bd.comm_seconds,
+            "compute_seconds_per_learner": mean_bd.compute_seconds,
+            "comm_fraction": mean_bd.comm_fraction,
+        }
+        return RunStats(duration=engine.now, extras=extras)
+
+    def publish_obs(self, trainer, sess, wall: float) -> None:
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        self.fabric.publish_metrics(sess.registry, **labels)
+        stats = self.machine.engine.stats()
+        sess.registry.counter("engine.events_total", **labels).inc(
+            stats["events_processed"]
+        )
+        sess.registry.gauge("engine.max_heap_depth", **labels).set(
+            stats["max_heap_depth"]
+        )
+        if trainer._obs is not None:
+            trainer._obs.finish(trainer.tape.samples, self.machine.engine.now, wall)
+        sess.add_run(
+            f"{trainer.algorithm} {trainer.problem.name} p={trainer.config.p}",
+            self.machine.tracer.spans,
+            self.fabric.message_log,
+            self.machine.engine.now,
+        )
