@@ -6,13 +6,20 @@ list
     Print the experiment registry (one id per paper table/figure).
 run EXP_ID [--set key=value ...] [--backend {sim,mp}] [--save out.json]
         [--jobs N] [--cache-dir D] [--trace t.json] [--metrics m.json]
-        [--manifest mf.json] [--profile]
+        [--manifest mf.json] [--profile] [--fault SPEC] [--recovery POLICY]
+        [--checkpoint-dir D] [--resume] [--timeout S]
     Regenerate one experiment and print its report.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
     ``--backend mp`` runs the trainers as real parallel worker processes
     (shared-memory collectives / PS shard processes) instead of the default
     virtual-time simulation — wall-clock parallelism on host cores.
-    ``--jobs N`` fans independent grid points (e.g. each ``p``) out over N
+    ``--fault`` injects deterministic faults (grammar
+    ``kind:key=value,...``, e.g. ``--fault 'crash:learner=2,step=40'``;
+    repeatable), ``--recovery`` picks what happens when something dies
+    (``fail_fast``/``elastic``/``restart_shard``), ``--checkpoint-dir``
+    keeps periodic checkpoints on disk and ``--resume`` restarts from the
+    latest one.  ``--timeout`` sets the mp backend's starvation timeout in
+    seconds.  ``--jobs N`` fans independent grid points (e.g. each ``p``) out over N
     worker processes — results are bit-identical to ``--jobs 1``; with
     ``--cache-dir`` completed points are memoised on disk so interrupted
     sweeps resume for free.  ``--trace`` writes a Chrome trace-event file
@@ -56,7 +63,32 @@ def _parse_value(text: str):
         return text
 
 
+def _build_fault_context(args, parser):
+    """FaultContext from --fault/--recovery/--checkpoint-dir/--resume
+    (None when no fault flag was given)."""
+    if not (args.fault or args.recovery or args.checkpoint_dir or args.resume):
+        return None
+    from .faults import FaultContext, FaultPlan, open_store
+
+    try:
+        plan = (
+            FaultPlan.parse(";".join(args.fault), seed=args.fault_seed)
+            if args.fault
+            else FaultPlan()
+        )
+        return FaultContext(
+            plan=plan,
+            recovery=args.recovery or "fail_fast",
+            store=open_store(args.checkpoint_dir) if args.checkpoint_dir else None,
+            resume=args.resume,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def _cmd_run(args, parser) -> int:
+    import contextlib
+
     from . import obs
 
     kwargs = {}
@@ -67,6 +99,10 @@ def _cmd_run(args, parser) -> int:
         kwargs[key.strip()] = _parse_value(value.strip())
     if args.backend is not None:
         kwargs["backend"] = args.backend
+    if args.timeout is not None:
+        kwargs["backend_timeout"] = args.timeout
+
+    fault_ctx = _build_fault_context(args, parser)
 
     jobs = args.jobs
     if jobs != 1 and (args.trace or args.metrics or args.profile):
@@ -76,27 +112,32 @@ def _cmd_run(args, parser) -> int:
             file=sys.stderr,
         )
         jobs = 1
+    if jobs != 1 and fault_ctx is not None:
+        print(
+            "note: fault injection/recovery state lives in the run process; "
+            "falling back to --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
 
     want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
     session = obs.ObsSession(trace=bool(args.trace or args.profile))
     t0 = time.perf_counter()
-    if jobs != 1 or args.cache_dir is not None:
-        from .harness.parallel import run_experiment_parallel
+    with contextlib.ExitStack() as stack:
+        if fault_ctx is not None:
+            from .faults import use_faults
 
+            stack.enter_context(use_faults(fault_ctx))
         if want_obs:
-            with obs.observe(session):
-                result = run_experiment_parallel(
-                    args.exp_id, jobs=jobs, cache_dir=args.cache_dir, **kwargs
-                )
-        else:
+            stack.enter_context(obs.observe(session))
+        if jobs != 1 or args.cache_dir is not None:
+            from .harness.parallel import run_experiment_parallel
+
             result = run_experiment_parallel(
                 args.exp_id, jobs=jobs, cache_dir=args.cache_dir, **kwargs
             )
-    elif want_obs:
-        with obs.observe(session):
+        else:
             result = run_experiment(args.exp_id, **kwargs)
-    else:
-        result = run_experiment(args.exp_id, **kwargs)
     wall = time.perf_counter() - t0
 
     print(format_result(result))
@@ -143,7 +184,9 @@ def _cmd_bench(args) -> int:
     )
 
     doc = run_benchmarks(
-        quick=args.quick, include_experiment=not args.no_experiment
+        quick=args.quick,
+        include_experiment=not args.no_experiment,
+        mp_timeout=args.timeout,
     )
     print(format_bench(doc))
     out = Path(args.out) if args.out else default_bench_path(doc)
@@ -303,6 +346,47 @@ def main(argv=None) -> int:
         metavar="DIR",
         help="memoise completed grid points here (resume interrupted sweeps)",
     )
+    run_p.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a deterministic fault, e.g. 'crash:learner=2,step=40' "
+        "(kinds: crash, ps_crash, straggle, drop, delay; repeatable)",
+    )
+    run_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the stochastic fault draws (drop/delay sampling)",
+    )
+    run_p.add_argument(
+        "--recovery",
+        choices=("fail_fast", "elastic", "restart_shard"),
+        default=None,
+        help="what to do when something dies: fail_fast (default, raise a "
+        "typed LearnerFailure), elastic (survivors restart from the last "
+        "checkpoint as p-1), restart_shard (respawn dead PS shards from "
+        "their snapshots)",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="keep periodic checkpoints here (enables --resume across runs)",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest checkpoint in --checkpoint-dir",
+    )
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="mp-backend starvation timeout in seconds (default 30)",
+    )
 
     bench_p = sub.add_parser(
         "bench", help="run substrate microbenchmarks, write a BENCH_<rev>.json"
@@ -331,6 +415,14 @@ def main(argv=None) -> int:
         "--no-experiment",
         action="store_true",
         help="skip the end-to-end experiment bench (kernels only)",
+    )
+    bench_p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="mp-backend starvation timeout for the mp interval bench "
+        "(default: 60)",
     )
 
     ins_p = sub.add_parser("inspect", help="summarise a result/metrics/trace/manifest file")

@@ -102,6 +102,7 @@ class LearnerWorkload:
     ) -> None:
         self.problem = problem
         self.model, self.criterion, self.info = problem.build_model(model_rng)
+        self.dropout_rng = dropout_rng  # kept for checkpoint/restore
         self.model.set_rng(dropout_rng)
         self.flat: FlatParams = flatten_module(self.model)
         self.batch_size = batch_size
@@ -270,6 +271,30 @@ class MetricsTape:
     @property
     def done(self) -> bool:
         return self.epoch >= self.config.epochs
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """Everything needed to resume recording mid-run (records included,
+        so a restored run re-emits a complete curve)."""
+        return {
+            "samples": self.samples,
+            "epoch": self.epoch,
+            "boundaries_seen": self._boundaries_seen,
+            "records": list(self.records),
+            "win_loss": self._win_loss,
+            "win_acc": self._win_acc,
+            "win_batches": self._win_batches,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        self.samples = int(state["samples"])
+        self.epoch = int(state["epoch"])
+        self._boundaries_seen = int(state["boundaries_seen"])
+        self.records = list(state["records"])  # type: ignore[arg-type]
+        self._win_loss = float(state["win_loss"])
+        self._win_acc = float(state["win_acc"])
+        self._win_batches = int(state["win_batches"])
 
 
 def spawn_rngs(seed: int, n: int) -> List[np.random.Generator]:

@@ -63,8 +63,11 @@ class DownpourTrainer(DistributedTrainer):
         options: DownpourOptions = DownpourOptions(),
         machine=None,
         backend=None,
+        fault_ctx=None,
     ) -> None:
-        super().__init__(problem, config, machine=machine, backend=backend)
+        super().__init__(
+            problem, config, machine=machine, backend=backend, fault_ctx=fault_ctx
+        )
         self.options = options
         server_lr = options.server_lr if options.server_lr is not None else config.lr
         self.server = self.backend.make_ps(
@@ -86,11 +89,14 @@ class DownpourTrainer(DistributedTrainer):
         gs = np.zeros_like(wl.flat.data)
         total = self.steps_per_learner()
         fail_after = (self.options.fail_at or {}).get(lid)
-        for step in range(1, total + 1):
+        for step in range(self._start_step + 1, total + 1):
             if fail_after is not None and step > fail_after:
                 # injected failure: this learner silently dies; the PS keeps
                 # serving the survivors, so the run completes
                 self.backend.note_failure(lid, fail_after)
+                return
+            if self.maybe_crash(lid):
+                # planned crash (sim path; real backends never return)
                 return
             crossed = yield from self.compute_step(lid)
             gs += wl.flat.grad
@@ -106,6 +112,12 @@ class DownpourTrainer(DistributedTrainer):
                 x = yield from self.comm(lid, round_trip())
                 wl.flat.set_data(x)
                 gs[...] = 0.0
+                # x is the freshest server-consistent vector this learner saw
+                self._maybe_checkpoint(lid, step // T, step, x=x)
+
+    def _restore_algo(self, ckpt) -> None:
+        # the server (not the replicas) owns the authoritative parameters
+        self.server.set_params(np.array(ckpt.x, copy=True))
 
     def _worker_export(self, lid: int) -> Dict[str, object]:
         return {"staleness": list(self.clients[lid].staleness_samples)}

@@ -71,8 +71,11 @@ class EAMSGDTrainer(DistributedTrainer):
         options: EAMSGDOptions = EAMSGDOptions(),
         machine=None,
         backend=None,
+        fault_ctx=None,
     ) -> None:
-        super().__init__(problem, config, machine=machine, backend=backend)
+        super().__init__(
+            problem, config, machine=machine, backend=backend, fault_ctx=fault_ctx
+        )
         self.options = options
         self.alpha = options.beta / config.p
         self.server = self.backend.make_ps(
@@ -94,11 +97,14 @@ class EAMSGDTrainer(DistributedTrainer):
         v = np.zeros_like(wl.flat.data)
         total = self.steps_per_learner()
         fail_after = (opts.fail_at or {}).get(lid)
-        for step in range(1, total + 1):
+        for step in range(self._start_step + 1, total + 1):
             if fail_after is not None and step > fail_after:
                 # injected failure: the elastic exchange is asynchronous, so
                 # the survivors keep training against the center variable
                 self.backend.note_failure(lid, fail_after)
+                return
+            if self.maybe_crash(lid):
+                # planned crash (sim path; real backends never return)
                 return
             if (step - 1) % opts.tau == 0:
                 e = yield from self.comm(
@@ -106,12 +112,21 @@ class EAMSGDTrainer(DistributedTrainer):
                 )
                 if e is not None:
                     wl.flat.data -= e
+                # the replica just re-synchronised against the center:
+                # snapshot it (momentum restarts at zero on resume — a
+                # documented coarse-resume approximation)
+                self._maybe_checkpoint(lid, (step - 1) // opts.tau, step - 1)
             crossed = yield from self.compute_step(lid)
             v *= opts.momentum
             v -= self.config.lr * wl.flat.grad
             wl.flat.data += v
             if crossed:
                 self.record_now(crossed, lid)
+
+    def _restore_algo(self, ckpt) -> None:
+        # the checkpoint vector becomes the new center variable; replicas
+        # start from it (the trainer's normal initial pull)
+        self.server.set_params(np.array(ckpt.x, copy=True))
 
     def _worker_export(self, lid: int) -> Dict[str, object]:
         return {"staleness": list(self.clients[lid].staleness_samples)}

@@ -84,8 +84,11 @@ class SASGDTrainer(DistributedTrainer):
         options: SASGDOptions = SASGDOptions(),
         machine=None,
         backend=None,
+        fault_ctx=None,
     ) -> None:
-        super().__init__(problem, config, machine=machine, backend=backend)
+        super().__init__(
+            problem, config, machine=machine, backend=backend, fault_ctx=fault_ctx
+        )
         self.options = options
         gamma_p = (
             options.gamma_p
@@ -144,6 +147,8 @@ class SASGDTrainer(DistributedTrainer):
         wl = self.workloads[lid]
         fail_after = (self.options.fail_at or {}).get(lid)
         # "The parameter x is initialized by learner 0, and then broadcast"
+        # (on resume every replica already holds the checkpoint parameters,
+        # so the broadcast is a consistent no-op)
         x0 = wl.flat.copy_data() if lid == 0 else None
         x0 = yield from self.comm(
             lid,
@@ -153,14 +158,17 @@ class SASGDTrainer(DistributedTrainer):
         )
         wl.flat.set_data(x0)
         state = SASGDLocalState(wl.flat, cfg)
-        steps_done = 0
-        for interval in range(self.n_intervals):
+        steps_done = self._start_step
+        for interval in range(self._start_interval, self.n_intervals):
             state.begin_interval()
             for _ in range(cfg.T):
                 if fail_after is not None and steps_done >= fail_after:
                     # injected failure: the learner silently dies; peers
                     # deadlock at the next allreduce (LearnerFailure)
                     self.backend.note_failure(lid, steps_done)
+                    return
+                if self.maybe_crash(lid):
+                    # planned crash (sim path; real backends never return)
                     return
                 crossed = yield from self.compute_step(lid)
                 steps_done += 1
@@ -174,6 +182,34 @@ class SASGDTrainer(DistributedTrainer):
                 self.allreduce_count += 1
                 crossed_total, self._pending_crossings = self._pending_crossings, 0
                 self.record_now(crossed_total)
+                self._maybe_checkpoint(lid, interval + 1, steps_done)
+
+    def _algo_state(self) -> Dict[str, object]:
+        return {
+            "allreduce_count": self.allreduce_count,
+            "compress_rngs": [
+                rng.bit_generator.state for rng in self._compress_rngs
+            ],
+            "residuals": [
+                np.array(c.residual, copy=True)
+                if c is not None and getattr(c, "residual", None) is not None
+                else None
+                for c in self.compressors
+            ],
+        }
+
+    def _restore_algo(self, ckpt) -> None:
+        state = ckpt.algo_state
+        self.allreduce_count = int(state.get("allreduce_count", 0))
+        rng_states = state.get("compress_rngs") or []
+        if len(rng_states) == len(self._compress_rngs):
+            for rng, saved in zip(self._compress_rngs, rng_states):
+                rng.bit_generator.state = saved
+        residuals = state.get("residuals") or []
+        if len(residuals) == len(self.compressors):
+            for compressor, residual in zip(self.compressors, residuals):
+                if compressor is not None and residual is not None:
+                    compressor.residual = np.array(residual, copy=True)
 
     def _worker_export(self, lid: int) -> Dict[str, object]:
         return {

@@ -1,0 +1,161 @@
+"""Checkpoint/restore for distributed training runs.
+
+A :class:`Checkpoint` captures everything needed to resume a run
+bit-exactly on the simulator (and best-effort on real execution): the
+globally consistent parameter vector at an interval boundary, per-learner
+RNG state (minibatch sampler + dropout), algorithm-specific state (e.g.
+EAMSGD momentum), the metrics tape, and the virtual clock.
+
+Stores come in two flavours: :class:`MemoryCheckpointStore` (in-process —
+what elastic recovery uses between restarts) and
+:class:`DirCheckpointStore` (``pickle`` files with atomic tmp-then-rename
+writes — what ``repro run --checkpoint-dir/--resume`` uses).  Checkpoints
+are keyed by a run identity string so one directory can hold several
+experiments' checkpoints side by side; ``latest(key)`` returns the highest
+completed interval.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "MemoryCheckpointStore",
+    "DirCheckpointStore",
+    "open_store",
+]
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class Checkpoint:
+    """One resumable snapshot, taken at a synchronisation boundary."""
+
+    key: str                      # run identity (stable across restarts)
+    interval: int                 # completed intervals / sync rounds
+    steps_done: int               # local steps completed per learner
+    x: np.ndarray                 # globally consistent parameter vector
+    clock: float                  # backend-native seconds at snapshot time
+    sampler_states: List[dict] = field(default_factory=list)   # per learner
+    dropout_states: List[dict] = field(default_factory=list)   # per learner
+    tape_state: Optional[dict] = None
+    algo_state: Dict[str, object] = field(default_factory=dict)
+    p: int = 0                    # learner count the snapshot was taken with
+    version: int = FORMAT_VERSION
+
+    def validate(self) -> None:
+        if self.version != FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format v{self.version} != supported v{FORMAT_VERSION}"
+            )
+
+
+class CheckpointStore:
+    """Interface: ``save`` a checkpoint, fetch the ``latest`` for a key."""
+
+    def save(self, ckpt: Checkpoint) -> None:
+        raise NotImplementedError
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Keeps only the most recent checkpoint per key, in process memory."""
+
+    def __init__(self) -> None:
+        self._by_key: Dict[str, Checkpoint] = {}
+
+    def save(self, ckpt: Checkpoint) -> None:
+        prev = self._by_key.get(ckpt.key)
+        if prev is None or ckpt.interval >= prev.interval:
+            self._by_key[ckpt.key] = ckpt
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        return self._by_key.get(key)
+
+
+def _safe_key(key: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", key)
+
+
+class DirCheckpointStore(CheckpointStore):
+    """Checkpoints as ``<key>.ckpt-<interval>.pkl`` files in one directory.
+
+    Writes are atomic (tmp file in the same directory, then ``os.replace``)
+    so a crash mid-write never corrupts the latest good checkpoint.  Older
+    intervals for the same key are pruned after a successful write, keeping
+    ``keep`` files per key.
+    """
+
+    def __init__(self, root: os.PathLike, keep: int = 2) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.keep = max(1, keep)
+
+    def _paths_for(self, key: str) -> List[Path]:
+        prefix = f"{_safe_key(key)}.ckpt-"
+        found = []
+        for path in self.root.iterdir():
+            name = path.name
+            if name.startswith(prefix) and name.endswith(".pkl"):
+                try:
+                    interval = int(name[len(prefix):-4])
+                except ValueError:
+                    continue
+                found.append((interval, path))
+        return [p for _, p in sorted(found)]
+
+    def save(self, ckpt: Checkpoint) -> None:
+        target = self.root / f"{_safe_key(ckpt.key)}.ckpt-{ckpt.interval}.pkl"
+        fd, tmp = tempfile.mkstemp(
+            prefix=target.name + ".", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(ckpt, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        paths = self._paths_for(ckpt.key)
+        for stale in paths[:-self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def latest(self, key: str) -> Optional[Checkpoint]:
+        paths = self._paths_for(key)
+        if not paths:
+            return None
+        with open(paths[-1], "rb") as fh:
+            ckpt: Checkpoint = pickle.load(fh)
+        ckpt.validate()
+        return ckpt
+
+
+def open_store(spec) -> CheckpointStore:
+    """``None`` → fresh in-memory store; a path → directory store;
+    an existing store passes through."""
+    if spec is None:
+        return MemoryCheckpointStore()
+    if isinstance(spec, CheckpointStore):
+        return spec
+    return DirCheckpointStore(spec)

@@ -1,0 +1,97 @@
+"""Elastic recovery: survivors restart from the last checkpoint and finish.
+
+The policy is restart-based parallel-restarted averaging: when a learner
+dies mid-run (a planned crash, a real ``SIGKILL``, or an exhausted retry
+budget), the surviving ``p − 1`` learners re-form as a smaller collective,
+reload the last globally consistent checkpoint, and continue to the
+original epoch target.  SASGD's ``γ_p = γ/√p`` rescales automatically with
+the shrunken ``p`` (``SASGDOptions.gamma_p=None``), so the theory knob the
+paper ties to the learner count tracks membership for free.
+
+The loop lives outside the trainers: ``DistributedTrainer.train()``
+dispatches here when the active :class:`~repro.faults.FaultContext` says
+``recovery="elastic"``.  Each attempt gets a *fresh* backend (the old one's
+collective may reference dead processes or a consumed simulation) and the
+survivor's fault plan — the crash that already fired is consumed, so
+restarts don't re-die on schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from ..runtime.api import LearnerFailure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..algos.base import TrainResult
+    from ..algos.distributed import DistributedTrainer
+
+__all__ = ["elastic_train", "ElasticGaveUp"]
+
+
+class ElasticGaveUp(LearnerFailure):
+    """Elastic recovery ran out of restarts (or learners) and surrendered."""
+
+    def __init__(self, cause: LearnerFailure, restarts: int, p: int) -> None:
+        super().__init__(
+            cause.learner_id,
+            cause.step,
+            f"elastic recovery gave up after {restarts} restart(s) "
+            f"with {p} learner(s) left: {cause}",
+        )
+        self.cause = cause
+        self.restarts = restarts
+
+
+def elastic_train(trainer: "DistributedTrainer") -> "TrainResult":
+    """Run ``trainer`` to completion, shrinking the collective on failure.
+
+    Drives ``trainer._train_once()`` (one full attempt on one backend); on
+    :class:`LearnerFailure` it rebuilds the trainer with ``p − 1`` learners
+    resuming from the latest checkpoint and tries again, up to
+    ``ctx.max_restarts`` times or until fewer than ``ctx.min_learners``
+    remain.  Returns the successful attempt's :class:`TrainResult`; the
+    total restart count is recorded on the surviving trainer's obs metrics.
+    """
+    ctx = trainer.fault_ctx
+    assert ctx is not None and ctx.recovery == "elastic"
+    current = trainer
+    restarts = 0
+    while True:
+        try:
+            return current._train_once()
+        except LearnerFailure as failure:
+            q = current.config.p - 1
+            if restarts >= ctx.max_restarts or q < ctx.min_learners:
+                raise ElasticGaveUp(failure, restarts, current.config.p)
+            restarts += 1
+            survivor_ctx = replace(
+                ctx,
+                plan=ctx.plan.survivor_plan(failure.learner_id),
+                resume=True,
+            )
+            _note_recovery(current, failure, restarts, q)
+            current = current.rebuild(p=q, fault_ctx=survivor_ctx)
+
+
+def _note_recovery(
+    trainer: "DistributedTrainer",
+    failure: LearnerFailure,
+    restarts: int,
+    q: int,
+) -> None:
+    """Emit the recovery decision as obs metrics on the failed attempt."""
+    from .. import obs
+
+    sess = obs.active()
+    if sess is None:
+        return
+    reg = sess.registry
+    reg.counter("faults.recoveries_total", action="elastic_restart").inc()
+    reg.gauge("faults.survivor_learners").set(float(q))
+    reg.counter("faults.restarts_total").inc()
+    if failure.detection_seconds is not None:
+        reg.histogram("faults.detection_seconds").observe(
+            failure.detection_seconds
+        )

@@ -1,0 +1,293 @@
+"""Liveness supervision primitives for the multiprocessing backend.
+
+The pre-fault ``MPBackend`` used ``multiprocessing.Barrier`` with a long
+timeout: a dead rank meant every peer blocked for the full timeout (120 s by
+default) before anyone learned anything, and the barrier object broke
+permanently on the first timeout.  This module replaces that with a small
+shared-memory **liveness block** plus a **polling barrier**:
+
+* each worker runs a daemon heartbeat thread stamping a wall-clock value
+  into its slot every ``heartbeat_interval`` seconds;
+* the parent runs a :class:`WorkerMonitor` thread that declares a rank dead
+  when its process exits or its heartbeat goes stale, and raises a flag in
+  shared memory;
+* :class:`PollingBarrier` replaces ``mp.Barrier``: ranks publish monotone
+  per-round arrival counters and spin (with a short sleep) until all peers
+  arrive, a dead flag is raised, or the deadline passes — so a killed peer
+  is noticed within roughly one heartbeat timeout rather than the full
+  barrier timeout, and the barrier survives any number of failed rounds.
+
+Everything here is dependency-pure (stdlib + numpy) so
+``repro.runtime.mp_backend`` can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LivenessBlock",
+    "PollingBarrier",
+    "HeartbeatThread",
+    "WorkerMonitor",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_HEARTBEAT_TIMEOUT",
+]
+
+DEFAULT_HEARTBEAT_INTERVAL = 0.25   # seconds between worker stamps
+# Stale threshold before declaring death.  Deliberately generous: on a
+# loaded single-core CI box a healthy worker's heartbeat thread can be
+# starved for a second or two, and a false positive kills the run.  Real
+# process deaths are caught by the process-exit probe within one monitor
+# poll (~0.1 s) regardless, so this only bounds detection of *hangs*.
+DEFAULT_HEARTBEAT_TIMEOUT = 5.0
+
+_ALIVE = 0
+_DEAD = 1
+
+
+class LivenessBlock:
+    """Shared-memory liveness state for ``p`` ranks.
+
+    Layout (all little-endian, fixed order):
+
+    * ``heartbeats``  float64[p] — wall-clock of each rank's last stamp
+    * ``dead``        int64[p]   — 0 alive, 1 declared dead (by the monitor
+      or by the rank itself on injected crash)
+    * ``dead_step``   int64[p]   — local steps completed when death was
+      declared (−1 unknown)
+    * ``finished``    int64[p]   — 1 once the rank completed normally; the
+      monitor must not declare a finished rank dead just because its
+      process exited
+    * ``arrivals``    one int64[p] lane per named barrier — monotone round
+      counters for :class:`PollingBarrier`
+
+    The parent creates the block before forking; workers inherit the open
+    mapping across ``fork`` (or attach by name).
+    """
+
+    def __init__(self, p: int, barrier_lanes: Sequence[str],
+                 name: Optional[str] = None) -> None:
+        self.p = p
+        self.lanes = list(barrier_lanes)
+        n_words = p + p + p + p + p * len(self.lanes)
+        nbytes = 8 * n_words
+        if name is None:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._owner = True
+        else:
+            self._shm = shared_memory.SharedMemory(name=name)
+            self._owner = False
+        buf = self._shm.buf
+        off = 0
+        self.heartbeats = np.ndarray((p,), dtype=np.float64, buffer=buf, offset=off)
+        off += 8 * p
+        self.dead = np.ndarray((p,), dtype=np.int64, buffer=buf, offset=off)
+        off += 8 * p
+        self.dead_step = np.ndarray((p,), dtype=np.int64, buffer=buf, offset=off)
+        off += 8 * p
+        self.finished = np.ndarray((p,), dtype=np.int64, buffer=buf, offset=off)
+        off += 8 * p
+        self.arrivals: Dict[str, np.ndarray] = {}
+        for lane in self.lanes:
+            self.arrivals[lane] = np.ndarray(
+                (p,), dtype=np.int64, buffer=buf, offset=off
+            )
+            off += 8 * p
+        if self._owner:
+            now = time.monotonic()
+            self.heartbeats[:] = now
+            self.dead[:] = _ALIVE
+            self.dead_step[:] = -1
+            self.finished[:] = 0
+            for lane in self.lanes:
+                self.arrivals[lane][:] = 0
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    # -- state transitions ---------------------------------------------------
+
+    def stamp(self, rank: int) -> None:
+        self.heartbeats[rank] = time.monotonic()
+
+    def declare_dead(self, rank: int, step: int = -1) -> None:
+        if self.dead[rank] == _ALIVE:
+            self.dead_step[rank] = step
+            self.dead[rank] = _DEAD
+
+    def is_dead(self, rank: int) -> bool:
+        return bool(self.dead[rank] == _DEAD)
+
+    def mark_finished(self, rank: int) -> None:
+        """Worker declares it completed normally (set before exiting)."""
+        self.finished[rank] = 1
+
+    def is_finished(self, rank: int) -> bool:
+        return bool(self.finished[rank] == 1)
+
+    def first_dead(self, exclude: Optional[int] = None) -> Optional[int]:
+        for rank in range(self.p):
+            if rank != exclude and self.dead[rank] == _DEAD:
+                return rank
+        return None
+
+    def close(self) -> None:
+        # release numpy views before closing the mapping
+        self.heartbeats = self.dead = self.dead_step = None  # type: ignore
+        self.finished = None  # type: ignore
+        self.arrivals = {}
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass
+
+
+class PollingBarrier:
+    """A reusable p-way barrier over a :class:`LivenessBlock` lane.
+
+    Each rank keeps a private monotone round counter.  ``wait`` publishes
+    the new round into the rank's arrival slot and polls until every
+    *living* peer has published a round at least as new, a peer is declared
+    dead (→ ``DeadPeer``), or ``timeout`` passes (→ ``Timeout``).  Unlike
+    ``multiprocessing.Barrier``, a failed round leaves the barrier usable —
+    elastic recovery depends on that.
+    """
+
+    POLL_SECONDS = 0.0005
+
+    class DeadPeer(Exception):
+        def __init__(self, rank: int, step: int) -> None:
+            super().__init__(f"rank {rank} dead (step {step})")
+            self.rank = rank
+            self.step = step
+
+    class Timeout(Exception):
+        pass
+
+    def __init__(self, block: LivenessBlock, lane: str, rank: int) -> None:
+        self.block = block
+        self.lane = lane
+        self.rank = rank
+        self.round = int(block.arrivals[lane][rank])
+
+    def wait(self, timeout: float) -> None:
+        self.round += 1
+        arrivals = self.block.arrivals[self.lane]
+        arrivals[self.rank] = self.round
+        deadline = time.monotonic() + timeout
+        while True:
+            dead = self.block.first_dead(exclude=self.rank)
+            if dead is not None:
+                raise PollingBarrier.DeadPeer(dead, int(self.block.dead_step[dead]))
+            if bool(np.all(arrivals >= self.round)):
+                return
+            if time.monotonic() > deadline:
+                raise PollingBarrier.Timeout(
+                    f"barrier lane {self.lane!r} round {self.round} timed out "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(self.POLL_SECONDS)
+
+
+class HeartbeatThread:
+    """Daemon thread a worker runs to stamp its liveness slot."""
+
+    def __init__(self, block: LivenessBlock, rank: int,
+                 interval: float = DEFAULT_HEARTBEAT_INTERVAL) -> None:
+        self.block = block
+        self.rank = rank
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"heartbeat-{rank}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.block.stamp(self.rank)
+            self._stop.wait(self.interval)
+
+    def start(self) -> "HeartbeatThread":
+        self.block.stamp(self.rank)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+class WorkerMonitor:
+    """Parent-side liveness detector.
+
+    Polls worker process handles and heartbeat slots; when a rank's process
+    has exited (before the run finished) or its heartbeat is older than
+    ``heartbeat_timeout``, marks it dead in the liveness block so every
+    blocked :class:`PollingBarrier` (and the parent's result-drain loop)
+    unblocks within one poll interval.  Records the detection latency —
+    wall seconds from the last heartbeat (≈ death) to detection — for the
+    acceptance criterion "detect a killed worker in < 5 s".
+    """
+
+    POLL_SECONDS = 0.1
+
+    def __init__(
+        self,
+        block: LivenessBlock,
+        is_alive: Dict[int, Callable[[], bool]],
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        on_death: Optional[Callable[[int, float], None]] = None,
+    ) -> None:
+        self.block = block
+        self.is_alive = dict(is_alive)
+        self.heartbeat_timeout = heartbeat_timeout
+        self.on_death = on_death
+        self.detections: Dict[int, float] = {}   # rank -> detection seconds
+        self._done: set = set()
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="worker-monitor", daemon=True
+        )
+
+    def mark_finished(self, rank: int) -> None:
+        """Rank completed normally — stop watching it."""
+        self._done.add(rank)
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            now = time.monotonic()
+            for rank, probe in self.is_alive.items():
+                if (
+                    rank in self._done
+                    or self.block.is_finished(rank)
+                    or self.block.is_dead(rank)
+                ):
+                    continue
+                exited = not probe()
+                stale = (now - float(self.block.heartbeats[rank])) > self.heartbeat_timeout
+                if exited or stale:
+                    latency = max(0.0, now - float(self.block.heartbeats[rank]))
+                    self.block.declare_dead(rank)
+                    self.detections[rank] = latency
+                    if self.on_death is not None:
+                        self.on_death(rank, latency)
+            self._stop.wait(self.POLL_SECONDS)
+
+    def start(self) -> "WorkerMonitor":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)

@@ -221,7 +221,9 @@ def _bench_sasgd_interval(reps: int) -> Dict[str, Dict[str, object]]:
     }
 
 
-def _bench_mp_interval(reps: int) -> Dict[str, Dict[str, object]]:
+def _bench_mp_interval(
+    reps: int, timeout: float = 60.0
+) -> Dict[str, Dict[str, object]]:
     """Per-interval wall time of a real SASGD run on the mp backend.
 
     Trains a unit-scale CIFAR SASGD end-to-end with 2 worker processes over
@@ -243,7 +245,7 @@ def _bench_mp_interval(reps: int) -> Dict[str, Dict[str, object]]:
         problem = cifar_problem(scale="unit", seed=5)
         config = TrainerConfig(p=p, epochs=1, batch_size=8, lr=0.02, seed=5)
         trainer = SASGDTrainer(
-            problem, config, SASGDOptions(T=T), backend=MPBackend(timeout=60.0)
+            problem, config, SASGDOptions(T=T), backend=MPBackend(timeout=timeout)
         )
         trainer.train()
         return trainer.n_intervals
@@ -278,7 +280,11 @@ def _bench_experiment() -> Dict[str, Dict[str, object]]:
 # --------------------------------------------------------------------------
 
 
-def run_benchmarks(quick: bool = False, include_experiment: bool = True) -> Dict[str, object]:
+def run_benchmarks(
+    quick: bool = False,
+    include_experiment: bool = True,
+    mp_timeout: float = 60.0,
+) -> Dict[str, object]:
     """Run the full suite; returns the BENCH document (a plain dict)."""
     from ..obs.manifest import git_revision
 
@@ -290,7 +296,7 @@ def run_benchmarks(quick: bool = False, include_experiment: bool = True) -> Dict
     benches.update(_bench_sgd(reps))
     benches.update(_bench_sasgd_interval(max(3, reps // 2)))
     if include_experiment:
-        benches.update(_bench_mp_interval(2 if quick else 3))
+        benches.update(_bench_mp_interval(2 if quick else 3, timeout=mp_timeout))
         benches.update(_bench_experiment())
 
     derived: Dict[str, float] = {}

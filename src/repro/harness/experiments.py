@@ -102,11 +102,16 @@ def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
     # signatures stay backend-free.  Timing-model experiments (fig1/4/5/6)
     # ignore it — they simulate wire schedules, not trainers.
     backend = kwargs.pop("backend", None)
+    timeout = kwargs.pop("backend_timeout", None)
     if backend is None:
         return fn(**kwargs)
     from ..runtime import use_backend
 
-    with use_backend(backend):
+    backend_kwargs = {}
+    if timeout is not None and backend == "mp":
+        # the sim backend has no starvation timeout; silently drop it there
+        backend_kwargs["timeout"] = timeout
+    with use_backend(backend, **backend_kwargs):
         return fn(**kwargs)
 
 

@@ -26,8 +26,8 @@ gradient staleness distribution (paper Sec. II-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
@@ -83,6 +83,10 @@ class ShardedParameterServer:
         name: str = "ps",
         timing_only: bool = False,
         apply_flops_per_param: float = 300.0,
+        crash_after: Optional[Dict[int, int]] = None,
+        restart_shards: bool = False,
+        restart_seconds: float = 0.5,
+        snapshot_every: int = 25,
     ) -> None:
         self.machine = machine
         self.fabric = fabric
@@ -92,6 +96,18 @@ class ShardedParameterServer:
         self.name = name
         self.timing_only = timing_only
         self.apply_flops_per_param = apply_flops_per_param
+        # -- fault injection (repro.faults): ``crash_after[sid] = n`` kills
+        # shard ``sid`` after its n-th apply.  With ``restart_shards`` the
+        # shard restores its slice from the last periodic snapshot (losing
+        # post-snapshot applies) and resumes after ``restart_seconds``;
+        # otherwise it stays down and its clients starve.
+        self.crash_after: Dict[int, int] = dict(crash_after or {})
+        self.restart_shards = restart_shards
+        self.restart_seconds = restart_seconds
+        self.snapshot_every = max(1, snapshot_every)
+        self.crashed_shards: set = set()      # shards currently down
+        self.shard_restarts = 0
+        self._snapshots: Dict[int, Tuple[Optional[np.ndarray], int]] = {}
         if machine.host is None:
             raise ValueError("machine has no host to run the parameter server on")
         self.host_device = machine.devices[machine.host]
@@ -130,6 +146,14 @@ class ShardedParameterServer:
         # this shard; None means "not observed" and costs one global read
         obs_latency = obs_depth = None
         t_serve = 0.0
+        applies = 0
+        crash_at = self.crash_after.get(sid)
+        # initial snapshot: by the time the engine first steps this
+        # coroutine, set_params() has installed the shared starting point
+        self._snapshots[sid] = (
+            None if self.timing_only else self.x[lo:hi].copy(),
+            self.versions[sid],
+        )
         while not self._stopping:
             msg = yield from ep.recv_any(req_tag)
             sess = _obs_active()
@@ -190,6 +214,30 @@ class ShardedParameterServer:
                 raise ValueError(f"unknown request kind {kind!r}")
             if sess is not None:
                 obs_latency.observe(engine.now - t_serve)
+            if kind in ("push", "elastic"):
+                applies += 1
+                if applies % self.snapshot_every == 0:
+                    self._snapshots[sid] = (
+                        None if self.timing_only else self.x[lo:hi].copy(),
+                        self.versions[sid],
+                    )
+                if crash_at is not None and applies >= crash_at:
+                    # injected shard death: the reply to the fatal apply got
+                    # out, everything since the last snapshot is lost
+                    crash_at = None
+                    tracer.begin(actor, "fault")
+                    tracer.end(actor, "fault")
+                    if not self.restart_shards:
+                        self.crashed_shards.add(sid)
+                        return
+                    snap_x, snap_v = self._snapshots[sid]
+                    if snap_x is not None:
+                        self.x[lo:hi] = snap_x
+                    self.versions[sid] = snap_v
+                    self.shard_restarts += 1
+                    tracer.begin(actor, "restart")
+                    yield Delay(self.restart_seconds)
+                    tracer.end(actor, "restart")
 
     def stop(self) -> None:
         """Ask shard processes to exit after their current request."""

@@ -39,6 +39,7 @@ from .api import (
     LearnerFailure,
     ParameterServerHandle,
     PSClientLike,
+    RetryBudgetExhausted,
     RunStats,
     blocking,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "Backend",
     "Collective",
     "LearnerFailure",
+    "RetryBudgetExhausted",
     "ParameterServerHandle",
     "PSClientLike",
     "RunStats",

@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = [
     "LearnerFailure",
+    "RetryBudgetExhausted",
     "Collective",
     "PSClientLike",
     "ParameterServerHandle",
@@ -79,6 +80,34 @@ class LearnerFailure(RuntimeError):
         super().__init__(message)
         self.learner_id = learner_id
         self.step = step
+        #: seconds between the fault occurring and the backend noticing it
+        #: (filled in by supervised backends; None when unknown)
+        self.detection_seconds: Optional[float] = None
+
+
+class RetryBudgetExhausted(LearnerFailure):
+    """A learner gave up on a parameter-server request after exhausting its
+    retry-with-backoff budget (lost or persistently delayed replies).
+
+    Subclasses :class:`LearnerFailure` so fail-fast harness paths treat it
+    like any other learner death, while recovery policies can distinguish a
+    communication failure from a crashed process.
+    """
+
+    def __init__(
+        self,
+        learner_id: Optional[int] = None,
+        attempts: int = 0,
+        message: Optional[str] = None,
+    ) -> None:
+        if message is None:
+            who = "a learner" if learner_id is None else f"learner{learner_id}"
+            message = (
+                f"{who} exhausted its PS retry budget after {attempts} attempts; "
+                "peers deadlocked waiting for its updates"
+            )
+        super().__init__(learner_id, None, message)
+        self.attempts = attempts
 
 
 def blocking(fn, *args, **kwargs) -> Generator:
@@ -242,12 +271,14 @@ class Backend(ABC):
         """``n`` deterministic child RNG streams off the run seed tree."""
 
     @abstractmethod
-    def compute(self, lid: int, flops: float) -> Generator:
+    def compute(self, lid: int, flops: float, scale: float = 1.0) -> Generator:
         """Coroutine accounting for one minibatch's compute cost.
 
         The simulator charges ``device.compute_seconds(flops) × residency``
         of virtual time; a real backend does nothing (the math itself *is*
-        the cost and runs inside the worker).
+        the cost and runs inside the worker).  ``scale`` multiplies the cost
+        — fault plans use it to model stragglers (sim: ×scale virtual time;
+        real backends sleep the extra ``(scale−1)``× via :meth:`fault_sleep`).
         """
 
     @abstractmethod
@@ -291,6 +322,52 @@ class Backend(ABC):
         self, trainer: "DistributedTrainer", sess: "ObsSession", wall: float
     ) -> None:
         """Publish end-of-run metrics/trace into the active obs session."""
+
+    # -- fault-injection hooks (defaults: faults are inert) ------------------
+
+    def install_faults(self, plan, retry=None, recovery: str = "fail_fast") -> None:
+        """Arm a :class:`~repro.faults.FaultPlan` on this backend.
+
+        Called by the trainer before ``run()`` when a fault context is
+        active.  ``recovery`` is the active policy name — backends use it to
+        decide shard behaviour on ``ps_crash`` (``restart_shard`` respawns
+        from snapshot, anything else lets the shard stay dead).  Backends
+        that support injection keep the plan and consult it from their
+        primitives; the default silently ignores it so fault-oblivious
+        backends keep working (their trainers still honour crash faults via
+        :meth:`fault_crash`).
+        """
+
+    def fault_crash(self, lid: int, step: int) -> bool:
+        """Execute a planned crash of learner ``lid`` after ``step`` steps.
+
+        Returns True when the caller (the learner coroutine) should stop
+        immediately — the simulator's model of death.  Real backends kill
+        the worker process outright (``os._exit``) and never return.
+        The default records nothing and lets the learner die quietly via
+        :meth:`note_failure` + return.
+        """
+        self.note_failure(lid, step)
+        return True
+
+    def fault_sleep(self, lid: int, seconds: float) -> Generator:
+        """Coroutine that stalls learner ``lid`` for ``seconds``.
+
+        Sim: this is a no-op — straggle cost is charged through the
+        ``scale`` argument of :meth:`compute` instead (virtual time).  Real
+        backends sleep for real.  The default no-op matches the sim.
+        """
+        return blocking(lambda: None)
+
+    def respawn(self) -> "Backend":
+        """A fresh, unbound backend of the same kind and configuration.
+
+        Elastic recovery calls this to give each restart attempt its own
+        transports (the old backend's collective may reference dead
+        processes or an exhausted simulation).  The default re-constructs
+        with no arguments; backends with configuration must override.
+        """
+        return type(self)()
 
 
 def resolve_members(p: int) -> Sequence[str]:

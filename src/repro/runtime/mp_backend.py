@@ -1,4 +1,4 @@
-"""MPBackend — real parallel execution on host cores.
+"""MPBackend — real parallel execution on host cores, under supervision.
 
 The same trainer coroutines that run in virtual time on :class:`SimBackend`
 run here as genuine OS processes (``multiprocessing`` with the ``fork``
@@ -17,10 +17,24 @@ pickling):
   arrive on a per-shard queue and are applied in genuine arrival order, so
   the staleness the paper measures is real scheduler nondeterminism, not a
   model of it.
-* **Failure handling**: a dying worker breaks the collective barrier (or
-  stops answering), surviving ranks raise, and the parent converts the
-  wreckage into a typed :class:`~repro.runtime.LearnerFailure` using the
-  ``fail_at`` note the dead learner left behind.
+* **Supervision** (:mod:`repro.faults.supervisor`): every worker runs a
+  heartbeat thread stamping a shared-memory liveness block; the parent runs
+  a monitor that declares a rank dead the moment its process exits (or its
+  heartbeat goes stale), and the barriers are *polling* barriers over the
+  same block — so a killed peer is detected in well under a second instead
+  of a full barrier timeout, the barrier survives failed rounds (elastic
+  recovery restarts on a fresh backend), and the resulting
+  :class:`~repro.runtime.LearnerFailure` carries the measured detection
+  latency.
+* **Fault injection** (:mod:`repro.faults`): planned learner crashes are a
+  real ``os._exit`` inside the worker; stragglers really sleep; dropped
+  parameter-server replies exercise a genuine resend-with-backoff retry
+  protocol (same-seq resends, shard-side dedupe, stale-reply discard) with
+  a typed :class:`~repro.runtime.RetryBudgetExhausted` when the budget
+  runs out; a crashed shard can be respawned from its periodic snapshot
+  (at-least-once apply semantics: work since the snapshot is lost, and a
+  resend that straddles the respawn may double-apply — documented in
+  DESIGN.md §9).
 
 Determinism: per-rank RNG streams and minibatch order are identical to the
 sim backend (same ``SeedSequence`` tree), so SASGD's trajectories differ
@@ -36,28 +50,41 @@ through the trainers' ``_worker_export`` / ``_worker_import`` hooks.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue
 import threading
 import time
 from multiprocessing import shared_memory
-from typing import Any, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
+from ..faults.plan import FaultPlan, RetryPolicy
+from ..faults.supervisor import (
+    HeartbeatThread,
+    LivenessBlock,
+    PollingBarrier,
+    WorkerMonitor,
+)
 from ..ps.server import ShardLayout
+from ..sim.trace import Span
 from .api import (
     Backend,
     Collective,
     LearnerFailure,
     ParameterServerHandle,
     PSClientLike,
+    RetryBudgetExhausted,
     RunStats,
     blocking,
 )
 
 __all__ = ["MPBackend", "MPCollective", "MPParameterServer"]
 
-_JOIN_GRACE = 5.0  # seconds to wait for an already-signalled process
+_JOIN_GRACE = 5.0   # seconds to wait for an already-signalled process
+_DEAD_GRACE = 1.0   # drain grace once every awaited rank is known dead
+_CRASH_EXIT = 3     # exit code of a plan-crashed learner
+_PS_CRASH_EXIT = 4  # exit code of a plan-crashed parameter-server shard
 
 
 def _noop() -> None:
@@ -75,7 +102,14 @@ def _unlink_quietly(shm: Optional[shared_memory.SharedMemory]) -> None:
 
 
 class MPCollective(Collective):
-    """Chunked reduce-scatter/allgather allreduce over shared memory."""
+    """Chunked reduce-scatter/allgather allreduce over shared memory.
+
+    Synchronisation is a :class:`~repro.faults.supervisor.PollingBarrier`
+    over the run's liveness block rather than ``multiprocessing.Barrier``:
+    a dead peer aborts the round with a typed failure naming the victim
+    within one monitor poll, and the barrier itself survives the failed
+    round.
+    """
 
     def __init__(self, ctx, p: int, timeout: float) -> None:
         self._ctx = ctx
@@ -86,14 +120,17 @@ class MPCollective(Collective):
         self._dtype: Optional[np.dtype] = None
         self._shm_in: List[shared_memory.SharedMemory] = []
         self._shm_out: Optional[shared_memory.SharedMemory] = None
-        self._barrier = None
+        self._liveness: Optional[LivenessBlock] = None
+        self._own_liveness = False
+        self._barriers: Dict[int, PollingBarrier] = {}  # per-process, by rank
         self._queues = None
         self._bounds: List[Any] = []
         self._stash: dict = {}  # tag -> [(src, item)] received out of round
 
-    def allocate(self, size: int, dtype) -> None:
-        """Create the shared segments/barrier.  Must run before fork."""
-        if self._barrier is not None:
+    def allocate(self, size: int, dtype,
+                 liveness: Optional[LivenessBlock] = None) -> None:
+        """Create the shared segments/liveness lane.  Must run before fork."""
+        if self._queues is not None:
             raise RuntimeError("collective already allocated")
         self._size = int(size)
         self._dtype = np.dtype(dtype)
@@ -103,7 +140,12 @@ class MPCollective(Collective):
             for _ in range(self.p)
         ]
         self._shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
-        self._barrier = self._ctx.Barrier(self.p)
+        if liveness is not None:
+            self._liveness = liveness
+            self._own_liveness = False
+        else:
+            self._liveness = LivenessBlock(self.p, ["coll"])
+            self._own_liveness = True
         self._queues = [self._ctx.Queue() for _ in range(self.p)]
         edges = np.linspace(0, self._size, self.p + 1).astype(int)
         self._bounds = list(zip(edges[:-1], edges[1:]))
@@ -114,19 +156,35 @@ class MPCollective(Collective):
         _unlink_quietly(self._shm_out)
         self._shm_in = []
         self._shm_out = None
-        self._barrier = None
+        if self._own_liveness and self._liveness is not None:
+            self._liveness.close()
+        self._liveness = None
+        self._barriers = {}
         self._queues = None
 
     def _view(self, shm: shared_memory.SharedMemory) -> np.ndarray:
         return np.ndarray((self._size,), dtype=self._dtype, buffer=shm.buf)
 
-    def _wait(self) -> None:
+    def _wait(self, rank: int) -> None:
+        barrier = self._barriers.get(rank)
+        if barrier is None:
+            barrier = self._barriers[rank] = PollingBarrier(
+                self._liveness, "coll", rank
+            )
         try:
-            self._barrier.wait(self.timeout)
-        except threading.BrokenBarrierError:
+            barrier.wait(self.timeout)
+        except PollingBarrier.DeadPeer as dead:
             raise LearnerFailure(
-                message="a peer died mid-collective; the shared-memory "
-                "barrier broke and the surviving ranks deadlocked"
+                dead.rank,
+                dead.step if dead.step >= 0 else None,
+                f"collective barrier: peer learner{dead.rank} died; rank "
+                f"{rank} abandoned the round (surviving ranks would have "
+                "deadlocked)",
+            ) from None
+        except PollingBarrier.Timeout:
+            raise LearnerFailure(
+                message=f"collective barrier timed out after {self.timeout}s; "
+                "a peer stalled undetected and the surviving ranks deadlocked"
             ) from None
 
     # -- Collective API -----------------------------------------------------
@@ -139,9 +197,9 @@ class MPCollective(Collective):
             return np.array(array, copy=True)
         if rank == root:
             self._view(self._shm_out)[:] = array
-        self._wait()  # result segment holds the root's data
+        self._wait(rank)  # result segment holds the root's data
         out = np.array(self._view(self._shm_out), copy=True)
-        self._wait()  # nobody may overwrite the segment before all copied
+        self._wait(rank)  # nobody may overwrite the segment before all copied
         self.bytes_moved += float(out.nbytes)
         return out
 
@@ -162,7 +220,7 @@ class MPCollective(Collective):
                 f"got {array.shape} {array.dtype}"
             )
         self._view(self._shm_in[rank])[:] = array
-        self._wait()  # every rank's input is published
+        self._wait(rank)  # every rank's input is published
         lo, hi = self._bounds[rank]
         if hi > lo:
             # reduce-scatter: this rank owns [lo, hi) and sums it in a fixed
@@ -171,9 +229,9 @@ class MPCollective(Collective):
             for peer in range(1, self.p):
                 acc += self._view(self._shm_in[peer])[lo:hi]
             self._view(self._shm_out)[lo:hi] = acc
-        self._wait()  # every chunk is reduced
+        self._wait(rank)  # every chunk is reduced
         out = np.array(self._view(self._shm_out), copy=True)
-        self._wait()  # allgather complete; segments may be reused
+        self._wait(rank)  # allgather complete; segments may be reused
         self.bytes_moved += 2.0 * float(array.nbytes)
         return out
 
@@ -193,14 +251,31 @@ class MPCollective(Collective):
         for src, stashed in self._stash.pop(tag, []):
             pieces[src] = stashed
             need -= 1
+        deadline = time.monotonic() + self.timeout
         while need > 0:
-            try:
-                got_tag, src, payload = self._queues[rank].get(timeout=self.timeout)
-            except queue.Empty:
+            dead = (
+                self._liveness.first_dead(exclude=rank)
+                if self._liveness is not None
+                else None
+            )
+            if dead is not None and pieces[dead] is None:
+                step = int(self._liveness.dead_step[dead])
                 raise LearnerFailure(
-                    message=f"allgather({tag!r}) starved for {self.timeout}s; "
-                    "a peer died and the surviving ranks deadlocked"
-                ) from None
+                    dead,
+                    step if step >= 0 else None,
+                    f"allgather({tag!r}): peer learner{dead} died before "
+                    "contributing; the surviving ranks abandoned the round",
+                )
+            try:
+                got_tag, src, payload = self._queues[rank].get(timeout=0.25)
+            except queue.Empty:
+                if time.monotonic() > deadline:
+                    raise LearnerFailure(
+                        message=f"allgather({tag!r}) starved for "
+                        f"{self.timeout}s; a peer died and the surviving "
+                        "ranks deadlocked"
+                    ) from None
+                continue
             if got_tag != tag:
                 self._stash.setdefault(got_tag, []).append((src, payload))
                 continue
@@ -210,26 +285,50 @@ class MPCollective(Collective):
         return pieces
 
 
-def _ps_shard_main(ps: "MPParameterServer", sid: int) -> None:
-    """One shard process: exclusive owner of x[lo:hi], serves in arrival order."""
+def _ps_shard_main(ps: "MPParameterServer", sid: int, restored: bool = False) -> None:
+    """One shard process: exclusive owner of x[lo:hi], serves in arrival order.
+
+    Request protocol: each rank's requests carry a strictly increasing
+    ``seq``; the shard remembers the last ``(seq, reply)`` per rank so a
+    retried (resent) request is answered from cache instead of re-applied —
+    exactly-once application as long as the shard itself survives.  A shard
+    respawned from snapshot forgets the cache (at-least-once semantics).
+    """
     lo, hi = ps.layout.bounds[sid]
     x = np.ndarray((ps.size,), dtype=ps.dtype, buffer=ps._shm.buf)
-    version = 0
+    snap = ps._snap_view()
+    meta = ps._meta_view()
+    version = int(meta[sid]) if (restored and meta is not None) else 0
     pushes = 0
+    applies = 0
+    crash_at = None if restored else ps.crash_after.get(sid)
+    last_seq: Dict[int, int] = {}
+    last_reply: Dict[int, tuple] = {}
+    if snap is not None and not restored:
+        # initial snapshot so a crash before the first periodic one still
+        # has something to restart from
+        snap[lo:hi] = x[lo:hi]
+        meta[sid] = version
     while True:
         req = ps.req_queues[sid].get()
         if req[0] == "stop":
             ps.stats_queue.put((sid, version, pushes))
             return
         kind, rank, seq, payload, extra = req
+        if last_seq.get(rank) == seq:
+            # duplicate of an already-applied request (client retried after
+            # an injected/lost reply): answer from cache, do not re-apply
+            ps.reply_queues[rank].put(last_reply[rank])
+            continue
         if kind == "push":
             if payload is not None:
                 x[lo:hi] -= ps.learning_rate * payload
             version += 1
             pushes += 1
-            ps.reply_queues[rank].put((sid, seq, version))
+            applies += 1
+            reply = (sid, seq, version)
         elif kind == "pull":
-            ps.reply_queues[rank].put((sid, seq, (x[lo:hi].copy(), version)))
+            reply = (sid, seq, (x[lo:hi].copy(), version))
         elif kind == "elastic":
             if payload is None:
                 e = None
@@ -237,54 +336,131 @@ def _ps_shard_main(ps: "MPParameterServer", sid: int) -> None:
                 e = extra * (payload - x[lo:hi])
                 x[lo:hi] += e
             version += 1
-            ps.reply_queues[rank].put((sid, seq, (e, version)))
+            applies += 1
+            reply = (sid, seq, (e, version))
         else:
-            ps.reply_queues[rank].put((sid, seq, ValueError(f"unknown kind {kind!r}")))
+            reply = (sid, seq, ValueError(f"unknown kind {kind!r}"))
+        last_seq[rank] = seq
+        last_reply[rank] = reply
+        ps.reply_queues[rank].put(reply)
+        if snap is not None and kind in ("push", "elastic"):
+            if applies % ps.snapshot_every == 0:
+                snap[lo:hi] = x[lo:hi]
+                meta[sid] = version
+        if crash_at is not None and applies >= crash_at:
+            # injected shard death: the reply to the fatal apply got out,
+            # the dedupe cache and post-snapshot applies die with us
+            os._exit(_PS_CRASH_EXIT)
 
 
 class MPPSClient(PSClientLike):
     """One rank's blocking connection to every shard (same staleness
-    accounting as the simulated :class:`~repro.ps.server.PSClient`)."""
+    accounting as the simulated :class:`~repro.ps.server.PSClient`).
+
+    Reply loss — genuine (a dead shard) or injected (a ``drop`` fault) — is
+    handled by a resend-with-exponential-backoff protocol: the client
+    resends the *same* ``seq`` after each backoff sleep (the shard dedupes),
+    discards stale replies from abandoned attempts, and raises
+    :class:`RetryBudgetExhausted` when ``retry.max_retries`` resends go
+    unanswered.
+    """
 
     def __init__(self, ps: "MPParameterServer", rank: int) -> None:
         self.ps = ps
         self.rank = rank
         self._seq = 0
+        self._op_ordinal = 0  # one push/pull/elastic call = one fault ordinal
         self.staleness_samples: List[int] = []
         self._pull_version = 0
         self._pull_versions = [0] * ps.layout.n_shards
 
-    def _request(self, sid: int, kind: str, payload, extra=None):
-        self._seq += 1
-        ps = self.ps
-        ps.req_queues[sid].put((kind, self.rank, self._seq, payload, extra))
-        try:
-            rsid, rseq, reply = ps.reply_queues[self.rank].get(timeout=ps.timeout)
-        except queue.Empty:
-            raise LearnerFailure(
-                self.rank,
-                None,
-                f"parameter-server shard {sid} gave no reply within "
-                f"{ps.timeout}s; the run deadlocked",
-            ) from None
-        if (rsid, rseq) != (sid, self._seq):
-            raise RuntimeError(
-                f"ps protocol error: expected reply ({sid}, {self._seq}), "
-                f"got ({rsid}, {rseq})"
+    def _fault_gate(self) -> int:
+        """Per-op fault decisions: sleep injected delays, return drop count."""
+        ordinal = self._op_ordinal
+        self._op_ordinal += 1
+        plan = self.ps.plan
+        if plan is None or not plan:
+            return 0
+        delay = plan.ps_reply_delay(self.rank, ordinal)
+        if delay > 0.0:
+            self.ps.fault_counts["delay"] = self.ps.fault_counts.get("delay", 0) + 1
+            time.sleep(delay)
+        drops = plan.ps_reply_drops(self.rank, ordinal)
+        if drops:
+            self.ps.fault_counts["drop"] = (
+                self.ps.fault_counts.get("drop", 0) + drops
             )
-        if isinstance(reply, Exception):
-            raise reply
-        return reply
+        return drops
+
+    def _request(self, sid: int, kind: str, payload, extra=None, drops: int = 0):
+        ps = self.ps
+        retry = ps.retry
+        self._seq += 1
+        seq = self._seq
+        msg = (kind, self.rank, seq, payload, extra)
+        ps.req_queues[sid].put(msg)
+        # the overall patience budget is spread over the send + every resend,
+        # so a genuinely dead shard exhausts the typed retry budget in about
+        # ps.timeout seconds total rather than hanging a bare Queue.get
+        attempts_allowed = retry.max_retries + 1
+        per_wait = max(0.05, ps.timeout / attempts_allowed)
+        attempt = 0  # resends performed so far
+        waited = 0.0
+        while True:
+            try:
+                rsid, rseq, reply = ps.reply_queues[self.rank].get(timeout=per_wait)
+            except queue.Empty:
+                waited += per_wait
+                if attempt >= retry.max_retries:
+                    raise RetryBudgetExhausted(
+                        self.rank,
+                        attempt,
+                        f"parameter-server shard {sid} gave no reply to "
+                        f"{kind!r} after {attempt + 1} attempts "
+                        f"(~{waited:.1f}s waited); learner{self.rank} "
+                        "exhausted its retry budget and the run deadlocked",
+                    ) from None
+                time.sleep(retry.backoff(attempt))
+                attempt += 1
+                ps.retries += 1
+                ps.req_queues[sid].put(msg)
+                continue
+            if rsid != sid or rseq < seq:
+                # stale reply from an earlier, abandoned attempt — discard
+                continue
+            if drops > 0:
+                # injected reply loss: pretend this genuine reply never
+                # arrived, then drive the real retry machinery
+                drops -= 1
+                if attempt >= retry.max_retries:
+                    raise RetryBudgetExhausted(
+                        self.rank,
+                        attempt,
+                        f"parameter-server shard {sid}: replies to {kind!r} "
+                        f"kept vanishing; learner{self.rank} exhausted its "
+                        f"retry budget after {attempt + 1} attempts and the "
+                        "run deadlocked",
+                    )
+                time.sleep(retry.backoff(attempt))
+                attempt += 1
+                ps.retries += 1
+                ps.req_queues[sid].put(msg)
+                continue
+            if isinstance(reply, Exception):
+                raise reply
+            return reply
 
     def push(self, grad: Optional[np.ndarray]) -> Generator:
         return blocking(self._push, grad)
 
     def _push(self, grad: Optional[np.ndarray]) -> int:
         ps = self.ps
+        drops = self._fault_gate()
         version_now = 0
         for sid, (lo, hi) in enumerate(ps.layout.bounds):
             payload = None if grad is None else np.array(grad[lo:hi], copy=True)
-            v = self._request(sid, "push", payload)
+            v = self._request(sid, "push", payload, drops=drops)
+            drops = 0  # the op-level fault applies to the first shard leg
             version_now += int(v)
             ps.bytes_moved += ps.layout.slice_bytes(sid, ps.dtype.itemsize)
         staleness = max(0, version_now - self._pull_version - ps.layout.n_shards)
@@ -296,10 +472,12 @@ class MPPSClient(PSClientLike):
 
     def _pull(self) -> np.ndarray:
         ps = self.ps
+        drops = self._fault_gate()
         out = np.empty(ps.size, dtype=ps.dtype)
         version = 0
         for sid, (lo, hi) in enumerate(ps.layout.bounds):
-            reply, v = self._request(sid, "pull", None)
+            reply, v = self._request(sid, "pull", None, drops=drops)
+            drops = 0
             version += int(v)
             self._pull_versions[sid] = int(v)
             out[lo:hi] = reply
@@ -312,10 +490,12 @@ class MPPSClient(PSClientLike):
 
     def _elastic(self, x_local: Optional[np.ndarray], alpha: float) -> np.ndarray:
         ps = self.ps
+        drops = self._fault_gate()
         out = np.empty(ps.size, dtype=ps.dtype)
         for sid, (lo, hi) in enumerate(ps.layout.bounds):
             payload = None if x_local is None else np.array(x_local[lo:hi], copy=True)
-            e, v = self._request(sid, "elastic", payload, extra=alpha)
+            e, v = self._request(sid, "elastic", payload, extra=alpha, drops=drops)
+            drops = 0
             self._pull_versions[sid] = int(v)
             if e is not None:
                 out[lo:hi] = e
@@ -324,7 +504,15 @@ class MPPSClient(PSClientLike):
 
 
 class MPParameterServer(ParameterServerHandle):
-    """Sharded PS over one shared parameter segment + per-shard processes."""
+    """Sharded PS over one shared parameter segment + per-shard processes.
+
+    When the armed fault plan contains ``ps_crash`` faults, each shard keeps
+    a periodic snapshot of its slice (plus its version counter) in a second
+    shared segment; under the ``restart_shard`` recovery policy a parent-side
+    watchdog thread restores the slice from the snapshot and forks a
+    replacement shard process.  Without the policy the shard stays down and
+    its clients exhaust their retry budgets (fail-fast).
+    """
 
     def __init__(self, ctx, p: int, size: int, n_shards: int,
                  learning_rate: float, dtype, timeout: float) -> None:
@@ -336,6 +524,17 @@ class MPParameterServer(ParameterServerHandle):
         self.dtype = np.dtype(dtype)
         self.timeout = timeout
         self.bytes_moved = 0.0  # per-process accumulator after fork
+        self.retries = 0        # per-process resend counter (client side)
+        self.fault_counts: Dict[str, int] = {}  # per-process injection counts
+        # fault configuration, installed by MPBackend before start()
+        self.plan: Optional[FaultPlan] = None
+        self.retry = RetryPolicy()
+        self.crash_after: Dict[int, int] = {}
+        self.restart_shards = False
+        self.snapshot_every = 25
+        self.shard_restarts = 0
+        self.crashed_shards: set = set()
+        self.events: List[Tuple[str, str, float]] = []  # (actor, kind, wall_t)
         self._shm: Optional[shared_memory.SharedMemory] = shared_memory.SharedMemory(
             create=True, size=max(1, self.size * self.dtype.itemsize)
         )
@@ -343,10 +542,15 @@ class MPParameterServer(ParameterServerHandle):
             (self.size,), dtype=self.dtype, buffer=self._shm.buf
         )
         self._x_view[:] = 0
+        self._snap_shm: Optional[shared_memory.SharedMemory] = None
+        self._meta_shm: Optional[shared_memory.SharedMemory] = None
         self.req_queues = [ctx.Queue() for _ in range(n_shards)]
         self.reply_queues = [ctx.Queue() for _ in range(p)]
         self.stats_queue = ctx.Queue()
         self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        self._t0 = 0.0
         self._pushes_applied = 0
         self.versions = [0] * n_shards
         self._x_final: Optional[np.ndarray] = None
@@ -375,36 +579,115 @@ class MPParameterServer(ParameterServerHandle):
     def client(self, rank: int) -> MPPSClient:
         return MPPSClient(self, rank)
 
+    # -- fault plumbing ------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan, retry: RetryPolicy,
+                       recovery: str) -> None:
+        self.plan = plan
+        self.retry = retry
+        self.restart_shards = recovery == "restart_shard"
+        self.crash_after = {
+            sid: push
+            for sid in range(self._layout.n_shards)
+            if (push := plan.ps_crash_push(sid)) is not None
+        }
+
+    def _snap_view(self) -> Optional[np.ndarray]:
+        if self._snap_shm is None:
+            return None
+        return np.ndarray((self.size,), dtype=self.dtype, buffer=self._snap_shm.buf)
+
+    def _meta_view(self) -> Optional[np.ndarray]:
+        if self._meta_shm is None:
+            return None
+        return np.ndarray(
+            (self._layout.n_shards,), dtype=np.int64, buffer=self._meta_shm.buf
+        )
+
     # -- lifecycle -----------------------------------------------------------
 
+    def _spawn_shard(self, sid: int, restored: bool) -> None:
+        proc = self._ctx.Process(
+            target=_ps_shard_main, args=(self, sid, restored),
+            name=f"repro-ps{sid}", daemon=True,
+        )
+        self._procs[sid] = proc
+        proc.start()
+
     def start(self) -> None:
-        if self._procs:
+        if any(p is not None for p in self._procs):
             return
-        self._procs = [
-            self._ctx.Process(
-                target=_ps_shard_main, args=(self, sid),
-                name=f"repro-ps{sid}", daemon=True,
+        if self.crash_after:
+            # snapshot substrate: a full-size shadow segment (each shard owns
+            # its slice) + per-shard version counters at the snapshot instant
+            self._snap_shm = shared_memory.SharedMemory(
+                create=True, size=max(1, self.size * self.dtype.itemsize)
             )
-            for sid in range(self._layout.n_shards)
-        ]
-        for proc in self._procs:
-            proc.start()
+            self._meta_shm = shared_memory.SharedMemory(
+                create=True, size=8 * self._layout.n_shards
+            )
+            self._meta_view()[:] = 0
+        self._t0 = time.perf_counter()
+        self._procs = [None] * self._layout.n_shards  # type: ignore[list-item]
+        for sid in range(self._layout.n_shards):
+            self._spawn_shard(sid, restored=False)
+        if self.crash_after:
+            self._watchdog_stop.clear()
+            self._watchdog = threading.Thread(
+                target=self._watch_shards, name="ps-watchdog", daemon=True
+            )
+            self._watchdog.start()
+
+    def _watch_shards(self) -> None:
+        """Respawn (or record) shards that die with the crash exit code."""
+        while not self._watchdog_stop.is_set():
+            for sid, proc in enumerate(self._procs):
+                if proc is None or proc.is_alive() or sid in self.crashed_shards:
+                    continue
+                now = time.perf_counter() - self._t0
+                self.events.append((f"ps{sid}", "fault", now))
+                self.fault_counts["ps_crash"] = (
+                    self.fault_counts.get("ps_crash", 0) + 1
+                )
+                if not self.restart_shards:
+                    self.crashed_shards.add(sid)
+                    continue
+                # restore the slice from the shard's last snapshot (applies
+                # since then are lost), then fork a replacement; the fatal
+                # crash fault is consumed so the new shard serves on
+                lo, hi = self._layout.bounds[sid]
+                snap = self._snap_view()
+                if snap is not None:
+                    self._x_view[lo:hi] = snap[lo:hi]
+                self._spawn_shard(sid, restored=True)
+                self.shard_restarts += 1
+                self.events.append(
+                    (f"ps{sid}", "ps_restart", time.perf_counter() - self._t0)
+                )
+            self._watchdog_stop.wait(0.1)
 
     def shutdown(self) -> None:
         """Stop shards, harvest their counters, snapshot x, free the segment."""
         if self._shm is None:
             return
-        if self._procs:
+        if self._watchdog is not None:
+            self._watchdog_stop.set()
+            self._watchdog.join(timeout=2.0)
+            self._watchdog = None
+        live = [p for p in self._procs if p is not None]
+        if live:
             for sid in range(self._layout.n_shards):
-                self.req_queues[sid].put(("stop",))
-            for _ in self._procs:
+                if sid not in self.crashed_shards:
+                    self.req_queues[sid].put(("stop",))
+            expected = self._layout.n_shards - len(self.crashed_shards)
+            for _ in range(expected):
                 try:
                     sid, version, pushes = self.stats_queue.get(timeout=_JOIN_GRACE)
                 except queue.Empty:
                     break
                 self.versions[sid] = version
                 self._pushes_applied += pushes
-            for proc in self._procs:
+            for proc in live:
                 proc.join(timeout=_JOIN_GRACE)
                 if proc.is_alive():
                     proc.terminate()
@@ -414,6 +697,10 @@ class MPParameterServer(ParameterServerHandle):
         self._x_view = None
         _unlink_quietly(self._shm)
         self._shm = None
+        _unlink_quietly(self._snap_shm)
+        self._snap_shm = None
+        _unlink_quietly(self._meta_shm)
+        self._meta_shm = None
 
     def __del__(self):  # safety net; normal path is MPBackend.run's finally
         try:
@@ -425,6 +712,10 @@ class MPParameterServer(ParameterServerHandle):
 def _worker_main(trainer, lid: int, result_q) -> None:
     """Drive one learner coroutine to completion inside a forked worker."""
     backend = trainer.backend
+    liveness: Optional[LivenessBlock] = backend._liveness
+    heartbeat = None
+    if liveness is not None:
+        heartbeat = HeartbeatThread(liveness, lid).start()
     t0 = time.perf_counter()
     try:
         for command in trainer._learner_proc(lid):
@@ -433,7 +724,15 @@ def _worker_main(trainer, lid: int, result_q) -> None:
                 "backend; route it through the repro.runtime interfaces"
             )
         wall = time.perf_counter() - t0
-        ps_bytes = backend._ps.bytes_moved if backend._ps is not None else 0.0
+        if liveness is not None:
+            if backend._failure is not None and backend._failure[0] == lid:
+                # legacy fail_at death: unblock the peers' barriers with the
+                # victim's identity before shipping the farewell payload
+                liveness.declare_dead(lid, backend._failure[1])
+            else:
+                liveness.mark_finished(lid)
+        ps = backend._ps
+        ps_bytes = ps.bytes_moved if ps is not None else 0.0
         data = {
             "records": trainer.tape.records if lid == 0 else None,
             "samples": trainer.tape.samples,
@@ -445,16 +744,38 @@ def _worker_main(trainer, lid: int, result_q) -> None:
             "comm_seconds": backend._comm_seconds,
             "wall_seconds": wall,
             "bytes": backend.collective.bytes_moved + ps_bytes,
+            "retries": ps.retries if ps is not None else 0,
+            "fault_counts": dict(
+                ps.fault_counts if ps is not None else {},
+                **backend._worker_fault_counts,
+            ),
         }
         result_q.put(("done", lid, data))
     except BaseException as exc:  # noqa: BLE001 - must never hang the parent
+        if liveness is not None:
+            # an erroring worker still exits cleanly (payload below); keep
+            # the monitor from declaring it crashed on exit
+            liveness.mark_finished(lid)
         failed_at = None if backend._failure is None else backend._failure[1]
+        ps = backend._ps
         result_q.put(
             ("error", lid, {
                 "error": f"{type(exc).__name__}: {exc}",
                 "failed_at": failed_at,
+                "learner_id": getattr(exc, "learner_id", None),
+                "step": getattr(exc, "step", None),
+                "retry_exhausted": isinstance(exc, RetryBudgetExhausted),
+                "attempts": getattr(exc, "attempts", 0),
+                "retries": ps.retries if ps is not None else 0,
+                "fault_counts": dict(
+                    ps.fault_counts if ps is not None else {},
+                    **backend._worker_fault_counts,
+                ),
             })
         )
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
 
 
 class MPBackend(Backend):
@@ -483,6 +804,15 @@ class MPBackend(Backend):
         self._comm_seconds = 0.0  # per-process accumulator after fork
         self._t0: Optional[float] = None
         self._duration = 0.0
+        self._plan: Optional[FaultPlan] = None
+        self._retry = RetryPolicy()
+        self._recovery = "fail_fast"
+        self._liveness: Optional[LivenessBlock] = None
+        self._detections: Dict[int, float] = {}
+        self._fault_events: List[Tuple[str, str, float]] = []
+        self._fault_counts: Dict[str, int] = {}
+        self._worker_fault_counts: Dict[str, int] = {}  # per-process after fork
+        self._retries_total = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -504,8 +834,9 @@ class MPBackend(Backend):
 
     # -- per-step primitives ------------------------------------------------
 
-    def compute(self, lid: int, flops: float) -> Generator:
-        # real math *is* the compute cost; nothing to account separately
+    def compute(self, lid: int, flops: float, scale: float = 1.0) -> Generator:
+        # real math *is* the compute cost; straggle scale is charged by the
+        # trainer through fault_sleep (a measured real sleep), not here
         return blocking(_noop)
 
     def comm(self, lid: int, coroutine: Generator) -> Generator:
@@ -521,6 +852,8 @@ class MPBackend(Backend):
             self._ctx, self._trainer.config.p, size, n_shards,
             learning_rate, dtype, self.timeout,
         )
+        if self._plan is not None:
+            self._ps.install_faults(self._plan, self._retry, self._recovery)
         return self._ps
 
     def should_record(self, lid: int) -> bool:
@@ -530,18 +863,44 @@ class MPBackend(Backend):
         if self._failure is None:
             self._failure = (lid, step)
 
+    # -- fault hooks ---------------------------------------------------------
+
+    def install_faults(self, plan, retry=None, recovery: str = "fail_fast") -> None:
+        self._plan = plan
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._recovery = recovery
+        if self._ps is not None:
+            self._ps.install_faults(self._plan, self._retry, self._recovery)
+
+    def fault_crash(self, lid: int, step: int) -> bool:
+        """Planned crash on the real substrate: the worker process dies, no
+        farewell, no cleanup — detection is the supervisor's job."""
+        os._exit(_CRASH_EXIT)
+        return True  # pragma: no cover - unreachable
+
+    def fault_sleep(self, lid: int, seconds: float) -> Generator:
+        self._worker_fault_counts["straggle"] = (
+            self._worker_fault_counts.get("straggle", 0) + 1
+        )
+        return blocking(time.sleep, seconds)
+
+    def respawn(self) -> "MPBackend":
+        return MPBackend(timeout=self.timeout)
+
     # -- the run driver -----------------------------------------------------
 
     def run(self, trainer) -> RunStats:
         p = trainer.config.p
         flat = trainer.workloads[0].flat
-        self.collective.allocate(flat.size, flat.data.dtype)
+        self._liveness = LivenessBlock(p, ["coll"])
+        self.collective.allocate(flat.size, flat.data.dtype, self._liveness)
         if self._ps is not None:
             self._ps.start()
         result_q = self._ctx.Queue()
         payloads: dict = {}
         errors: dict = {}
         procs = []
+        monitor: Optional[WorkerMonitor] = None
         self._t0 = time.perf_counter()
         try:
             procs = [
@@ -553,21 +912,59 @@ class MPBackend(Backend):
             ]
             for proc in procs:
                 proc.start()
+
+            def _on_death(rank: int, latency: float) -> None:
+                self._detections[rank] = latency
+                self._fault_events.append(
+                    (trainer.learner_names[rank], "fault", self.clock())
+                )
+
+            monitor = WorkerMonitor(
+                self._liveness,
+                {lid: procs[lid].is_alive for lid in range(p)},
+                on_death=_on_death,
+            ).start()
             # drain results BEFORE joining: a worker blocks at exit until its
-            # queue payload is flushed, so join-first would deadlock
-            for _ in range(p):
+            # queue payload is flushed, so join-first would deadlock.  The
+            # loop polls in short slices so a detected death can end the wait
+            # early: once every still-awaited rank is dead with its process
+            # gone (no payload will ever come), a short grace ends the drain.
+            expected = set(range(p))
+            deadline = time.monotonic() + self.timeout + 10.0
+            dead_grace: Optional[float] = None
+            while expected:
                 try:
-                    kind, lid, data = result_q.get(timeout=self.timeout + 10.0)
+                    kind, lid, data = result_q.get(timeout=0.25)
                 except queue.Empty:
-                    break
+                    now = time.monotonic()
+                    if now > deadline:
+                        break
+                    if all(
+                        self._liveness.is_dead(r) and not procs[r].is_alive()
+                        for r in expected
+                    ):
+                        if dead_grace is None:
+                            dead_grace = now + _DEAD_GRACE
+                        elif now > dead_grace:
+                            break
+                    else:
+                        dead_grace = None
+                    continue
                 if kind == "done":
                     payloads[lid] = data
                 else:
                     errors[lid] = data
+                expected.discard(lid)
+                monitor.mark_finished(lid)
+                # each payload buys the stragglers a fresh patience budget
+                # (matching the old per-get timeout semantics)
+                deadline = time.monotonic() + self.timeout + 10.0
             self._duration = time.perf_counter() - self._t0
             for proc in procs:
                 proc.join(timeout=_JOIN_GRACE)
         finally:
+            if monitor is not None:
+                monitor.stop()
             for proc in procs:
                 if proc.is_alive():
                     proc.terminate()
@@ -575,23 +972,64 @@ class MPBackend(Backend):
             if self._ps is not None:
                 self._ps.shutdown()
             self.collective.teardown()
+            if self._liveness is not None:
+                self._liveness.close()
+                self._liveness = None
 
+        return self._conclude(trainer, p, payloads, errors)
+
+    # -- post-run bookkeeping -------------------------------------------------
+
+    def _conclude(self, trainer, p: int, payloads: dict, errors: dict) -> RunStats:
         for lid in sorted(payloads):
             failed_at = payloads[lid]["failed_at"]
             if failed_at is not None:
                 self.note_failure(lid, failed_at)
+        for data in list(payloads.values()) + list(errors.values()):
+            self._retries_total += int(data.get("retries", 0) or 0)
+            for kind, n in (data.get("fault_counts") or {}).items():
+                self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
+        if self._ps is not None:
+            for kind, n in self._ps.fault_counts.items():
+                self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
+            self._fault_events.extend(self._ps.events)
+
         missing = [
             lid for lid in range(p) if lid not in payloads and lid not in errors
         ]
+        # a worker that vanished without any payload was killed outright; a
+        # planned crash is labelled from the plan, anything else from the
+        # liveness wreckage
+        planned = self._plan.crash_learners() if self._plan is not None else {}
+        for lid in missing:
+            if self._failure is None:
+                self.note_failure(lid, planned.get(lid, -1))
+            self._fault_counts["crash"] = self._fault_counts.get("crash", 0) + 1
+
         if errors or missing:
             if self._failure is not None:
                 lid, step = self._failure
-                raise LearnerFailure(
+                at = f"after {step} local steps" if step >= 0 else "mid-run"
+                failure = LearnerFailure(
                     lid,
-                    step,
-                    f"learner{lid} died after {step} local steps (injected "
-                    "failure); surviving workers deadlocked at the next "
-                    "collective and were reaped",
+                    step if step >= 0 else None,
+                    f"learner{lid} died {at} (injected failure); surviving "
+                    "workers deadlocked at the next collective and were "
+                    "reaped",
+                )
+                failure.detection_seconds = self._detections.get(lid)
+                raise failure
+            exhausted = [
+                lid for lid in sorted(errors)
+                if errors[lid].get("retry_exhausted")
+            ]
+            if exhausted:
+                lid = exhausted[0]
+                raise RetryBudgetExhausted(
+                    lid,
+                    int(errors[lid].get("attempts", 0)),
+                    f"learner{lid} exhausted its parameter-server retry "
+                    f"budget ({errors[lid]['error']}); the run deadlocked",
                 )
             detail = "; ".join(
                 f"learner{lid}: {errors[lid]['error']}" for lid in sorted(errors)
@@ -620,15 +1058,48 @@ class MPBackend(Backend):
             "comm_fraction": (mean_comm / mean_wall) if mean_wall > 0 else 0.0,
             "workers": p,
         }
+        if self._retries_total:
+            extras["ps_retries"] = self._retries_total
+        if self._ps is not None and self._ps.shard_restarts:
+            extras["ps_shard_restarts"] = self._ps.shard_restarts
         return RunStats(duration=self._duration, extras=extras)
 
+    def publish_fault_obs(self, trainer, sess) -> None:
+        """Fault/detection metrics alone — safe to emit from a failed run."""
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        for kind, n in sorted(self._fault_counts.items()):
+            sess.registry.counter(
+                "faults.injected_total", kind=kind, **labels
+            ).inc(n)
+        if self._detections:
+            sess.registry.counter("faults.detected_total", **labels).inc(
+                len(self._detections)
+            )
+            hist = sess.registry.histogram("faults.detection_seconds", **labels)
+            for latency in self._detections.values():
+                hist.observe(latency)
+        if self._retries_total:
+            sess.registry.counter("faults.retries_total", **labels).inc(
+                self._retries_total
+            )
+        if self._ps is not None and self._ps.shard_restarts:
+            sess.registry.counter(
+                "faults.recoveries_total", action="restart_shard", **labels
+            ).inc(self._ps.shard_restarts)
+
     def publish_obs(self, trainer, sess, wall: float) -> None:
+        self.publish_fault_obs(trainer, sess)
         if trainer._obs is not None:
             trainer._obs.finish(trainer.tape.samples, self._duration, wall)
+        spans = [
+            Span(actor, kind, t, t) for actor, kind, t in self._fault_events
+        ]
         sess.add_run(
             f"{trainer.algorithm} {trainer.problem.name} "
             f"p={trainer.config.p} (mp)",
-            [],
+            spans,
             [],
             self._duration,
         )

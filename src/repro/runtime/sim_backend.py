@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from typing import Generator, List, Optional
+from typing import Dict, Generator, List, Optional
 
 from ..cluster.machine import Machine, power8_oss_spec
 from ..comm import collectives as _coll
@@ -29,10 +29,16 @@ from .api import (
     LearnerFailure,
     ParameterServerHandle,
     PSClientLike,
+    RetryBudgetExhausted,
     RunStats,
 )
 
-__all__ = ["SimBackend", "SimCollective", "SimParameterServer"]
+__all__ = [
+    "SimBackend",
+    "SimCollective",
+    "SimParameterServer",
+    "FaultySimPSClient",
+]
 
 
 class SimCollective(Collective):
@@ -90,11 +96,19 @@ class SimParameterServer(ParameterServerHandle):
     def versions(self):
         return self.impl.versions
 
+    @property
+    def shard_restarts(self) -> int:
+        return getattr(self.impl, "shard_restarts", 0)
+
     def set_params(self, x0: np.ndarray) -> None:
         self.impl.set_params(x0)
 
     def client(self, rank: int) -> PSClientLike:
-        return PSClient(self.impl, self._backend.endpoints[rank])
+        inner = PSClient(self.impl, self._backend.endpoints[rank])
+        plan = self._backend._plan
+        if plan is not None and plan.touches_ps():
+            return FaultySimPSClient(inner, self._backend, rank)
+        return inner
 
     def stop(self) -> None:
         self.impl.stop()
@@ -104,6 +118,59 @@ class SimParameterServer(ParameterServerHandle):
 # coroutines + staleness_samples); register it so isinstance checks pass
 # without forcing an inheritance edge from repro.ps onto repro.runtime.
 PSClientLike.register(PSClient)
+
+
+class FaultySimPSClient(PSClientLike):
+    """Injects drop/delay faults around a :class:`PSClient`, op by op.
+
+    One ``push``/``pull``/``elastic`` call is one request *ordinal* — the
+    unit the :class:`~repro.faults.FaultPlan` selects on in both backends.
+    A dropped reply costs the retry policy's backoff schedule in virtual
+    time (the request is eventually answered — the sim models the retries,
+    it doesn't replay them); more drops than ``max_retries`` raises
+    :class:`RetryBudgetExhausted` exactly where the real backend would.
+    """
+
+    def __init__(self, inner: PSClient, backend: "SimBackend", rank: int) -> None:
+        self.inner = inner
+        self._backend = backend
+        self.rank = rank
+        self._ordinal = 0
+
+    @property
+    def staleness_samples(self):
+        return self.inner.staleness_samples
+
+    def _faulted(self, op: Generator) -> Generator:
+        ordinal = self._ordinal
+        self._ordinal += 1
+        backend = self._backend
+        plan = backend._plan
+        retry = backend._retry
+        delay = plan.ps_reply_delay(self.rank, ordinal)
+        if delay > 0.0:
+            backend._count_fault("delay")
+            yield Delay(delay)
+        drops = plan.ps_reply_drops(self.rank, ordinal)
+        if drops:
+            backend._count_fault("drop", drops)
+            attempts = min(drops, retry.max_retries)
+            backend._retries_total += attempts
+            if retry.total_backoff(attempts) > 0.0:
+                yield Delay(retry.total_backoff(attempts))
+            if drops > retry.max_retries:
+                raise RetryBudgetExhausted(self.rank, attempts=retry.max_retries)
+        result = yield from op
+        return result
+
+    def push(self, grad) -> Generator:
+        return self._faulted(self.inner.push(grad))
+
+    def pull(self) -> Generator:
+        return self._faulted(self.inner.pull())
+
+    def elastic(self, x_local, alpha) -> Generator:
+        return self._faulted(self.inner.elastic(x_local, alpha))
 
 
 class SimBackend(Backend):
@@ -120,6 +187,12 @@ class SimBackend(Backend):
         self.collective: Optional[SimCollective] = None
         self._trainer = None
         self._failure = None  # (lid, step) noted by an injected fail_at
+        self._plan = None               # armed FaultPlan (None = no faults)
+        self._retry = None              # RetryPolicy for PS drop faults
+        self._recovery = "fail_fast"
+        self._ps_handle: Optional[SimParameterServer] = None
+        self._fault_counts: Dict[str, int] = {}
+        self._retries_total = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -157,9 +230,11 @@ class SimBackend(Backend):
 
     # -- per-step primitives ------------------------------------------------
 
-    def compute(self, lid: int, flops: float) -> Generator:
+    def compute(self, lid: int, flops: float, scale: float = 1.0) -> Generator:
         device = self.machine.devices[self.placement[lid]]
-        dur = device.compute_seconds(flops) * self.residency[lid]
+        dur = device.compute_seconds(flops) * self.residency[lid] * scale
+        if scale != 1.0:
+            self._count_fault("straggle")
         name = self._trainer.learner_names[lid]
         self.machine.tracer.begin(name, "compute")
         yield Delay(dur)
@@ -172,6 +247,18 @@ class SimBackend(Backend):
         return result
 
     def make_ps(self, size, n_shards, learning_rate, dtype) -> SimParameterServer:
+        kwargs = {}
+        if self._plan is not None and self._plan.touches_ps():
+            crash_after = {
+                sid: push
+                for sid in range(n_shards)
+                if (push := self._plan.ps_crash_push(sid)) is not None
+            }
+            if crash_after:
+                kwargs = dict(
+                    crash_after=crash_after,
+                    restart_shards=(self._recovery == "restart_shard"),
+                )
         impl = ShardedParameterServer(
             self.machine,
             self.fabric,
@@ -179,12 +266,50 @@ class SimBackend(Backend):
             n_shards=n_shards,
             learning_rate=learning_rate,
             dtype=dtype,
+            **kwargs,
         )
-        return SimParameterServer(self, impl)
+        handle = SimParameterServer(self, impl)
+        self._ps_handle = handle
+        return handle
 
     def note_failure(self, lid: int, step: int) -> None:
         if self._failure is None:
             self._failure = (lid, step)
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def install_faults(self, plan, retry=None, recovery: str = "fail_fast") -> None:
+        from ..faults.plan import RetryPolicy
+
+        self._plan = plan
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._recovery = recovery
+
+    def _count_fault(self, kind: str, n: int = 1) -> None:
+        self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
+
+    def fault_crash(self, lid: int, step: int) -> bool:
+        """Planned crash: a zero-length 'fault' span marks the death on the
+        trace, the failure note names the victim, and returning True makes
+        the learner coroutine exit — the simulator's model of a dead rank."""
+        name = self._trainer.learner_names[lid]
+        self.machine.tracer.begin(name, "fault")
+        self.machine.tracer.end(name, "fault")
+        self._count_fault("crash")
+        self.note_failure(lid, step)
+        return True
+
+    def respawn(self) -> "SimBackend":
+        # A fresh virtual cluster; an explicitly injected machine is not
+        # reused because its engine clock and RNG streams are already
+        # consumed by the failed attempt.
+        return SimBackend()
+
+    def _crashed_shards(self) -> List[int]:
+        """PS shards that died and stayed down (empty when no PS / no faults)."""
+        if self._ps_handle is None:
+            return []
+        return sorted(getattr(self._ps_handle.impl, "crashed_shards", ()))
 
     # -- the run driver -----------------------------------------------------
 
@@ -206,6 +331,16 @@ class SimBackend(Backend):
                         f"{step} local steps (injected failure) and its "
                         "bulk-synchronous peers stalled at the next collective",
                     )
+                crashed = self._crashed_shards()
+                if crashed:
+                    raise LearnerFailure(
+                        None,
+                        None,
+                        f"{proc.name} deadlocked: parameter-server shard"
+                        f"{'s' if len(crashed) > 1 else ''} "
+                        f"{', '.join(map(str, crashed))} crashed (injected "
+                        "failure) and stayed down under the fail_fast policy",
+                    )
                 raise RuntimeError(
                     f"{proc.name} deadlocked: a bulk-synchronous peer died "
                     "mid-interval (injected failure?) or this is an algorithm bug"
@@ -219,6 +354,35 @@ class SimBackend(Backend):
         }
         return RunStats(duration=engine.now, extras=extras)
 
+    def publish_fault_obs(self, trainer, sess) -> None:
+        """Fault metrics alone — safe to emit from a failed run."""
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        for kind, n in sorted(self._fault_counts.items()):
+            sess.registry.counter(
+                "faults.injected_total", kind=kind, **labels
+            ).inc(n)
+        if self._retries_total:
+            sess.registry.counter("faults.retries_total", **labels).inc(
+                self._retries_total
+            )
+        if self._ps_handle is not None:
+            for sid in self._crashed_shards():
+                sess.registry.counter(
+                    "faults.ps_shard_crashes_total", shard=sid, **labels
+                ).inc()
+            restarts = getattr(self._ps_handle.impl, "shard_restarts", 0)
+            crashes = restarts + len(self._crashed_shards())
+            if crashes:
+                sess.registry.counter(
+                    "faults.injected_total", kind="ps_crash", **labels
+                ).inc(crashes)
+            if restarts:
+                sess.registry.counter(
+                    "faults.recoveries_total", action="restart_shard", **labels
+                ).inc(restarts)
+
     def publish_obs(self, trainer, sess, wall: float) -> None:
         labels = dict(
             algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
@@ -231,6 +395,7 @@ class SimBackend(Backend):
         sess.registry.gauge("engine.max_heap_depth", **labels).set(
             stats["max_heap_depth"]
         )
+        self.publish_fault_obs(trainer, sess)
         if trainer._obs is not None:
             trainer._obs.finish(trainer.tape.samples, self.machine.engine.now, wall)
         sess.add_run(

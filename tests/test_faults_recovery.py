@@ -1,0 +1,250 @@
+"""Fault execution and recovery across both runtime backends.
+
+The acceptance scenario from the fault-tolerance work: crash a learner
+mid-run under ``--recovery elastic`` and the surviving p−1 learners rebuild
+from the last checkpoint and finish — on the virtual-time simulator
+(bit-reproducibly) and on real worker processes — landing within 10% of
+the fault-free loss.  Plus: checkpoint/resume bit-exactness on the sim,
+parameter-server shard restart on both backends, deterministic stragglers,
+and the elastic give-up path.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.algos import (
+    DownpourOptions,
+    DownpourTrainer,
+    SASGDOptions,
+    SASGDTrainer,
+    TrainerConfig,
+)
+from repro.algos.problems import cifar_problem
+from repro.faults import FaultContext, FaultPlan, MemoryCheckpointStore
+from repro.faults.recovery import ElasticGaveUp
+from repro.runtime import LearnerFailure, MPBackend
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="mp backend needs fork")
+
+# unit-scale CIFAR with p=4, batch 8, 4 epochs: 8 local steps per learner,
+# 4 aggregation intervals at T=2 — the crash at local step 3 lands mid-run
+P4 = TrainerConfig(p=4, epochs=4, batch_size=8, lr=0.02, seed=3)
+CRASH = "crash:learner=2,step=3"
+
+
+def _sasgd(config=P4, backend=None, fault_ctx=None):
+    return SASGDTrainer(
+        cifar_problem(scale="unit", seed=1),
+        config,
+        SASGDOptions(T=2),
+        backend=backend,
+        fault_ctx=fault_ctx,
+    )
+
+
+def _final_loss(res):
+    losses = [r.test_loss for r in res.records if r.test_loss is not None]
+    assert losses, "run recorded no test losses"
+    return losses[-1]
+
+
+def _elastic_ctx(spec=CRASH):
+    return FaultContext(plan=FaultPlan.parse(spec), recovery="elastic")
+
+
+# --------------------------------------------------------------------------
+# elastic recovery: crash a learner, survivors finish (acceptance scenario)
+# --------------------------------------------------------------------------
+
+
+def test_sim_elastic_crash_completes_within_loss_band():
+    fault_free = _sasgd().train()
+    trainer = _sasgd(fault_ctx=_elastic_ctx())
+    res = trainer.train()
+    assert res.records
+    assert res.config.p == 3          # finished as the surviving collective
+    baseline = _final_loss(fault_free)
+    recovered = _final_loss(res)
+    assert abs(recovered - baseline) <= 0.10 * baseline
+
+
+def test_sim_elastic_recovery_is_bit_reproducible():
+    a = _sasgd(fault_ctx=_elastic_ctx())
+    res_a = a.train()
+    b = _sasgd(fault_ctx=_elastic_ctx())
+    res_b = b.train()
+    assert [repr(float(r.train_loss)) for r in res_a.records] == [
+        repr(float(r.train_loss)) for r in res_b.records
+    ]
+    assert [repr(float(r.virtual_time)) for r in res_a.records] == [
+        repr(float(r.virtual_time)) for r in res_b.records
+    ]
+    np.testing.assert_array_equal(
+        a.workloads[0].flat.data, b.workloads[0].flat.data
+    )
+
+
+def test_sim_elastic_emits_recovery_metrics():
+    session = obs.ObsSession()
+    with obs.observe(session):
+        trainer = _sasgd(fault_ctx=_elastic_ctx())
+        trainer.train()
+    reg = session.registry
+    # the crash happened on the failed p=4 attempt; its counters are
+    # published from the failure path before the elastic restart
+    labels = dict(algo="sasgd", p=4, problem=trainer.problem.name)
+    assert reg.counter("faults.injected_total", kind="crash", **labels).value >= 1
+    assert (
+        reg.counter("faults.recoveries_total", action="elastic_restart").value
+        == 1
+    )
+    assert reg.gauge("faults.survivor_learners").value == 3.0
+
+
+@needs_fork
+def test_mp_elastic_crash_completes_within_loss_band():
+    fault_free = _sasgd(backend=MPBackend(timeout=60.0)).train()
+    trainer = _sasgd(
+        backend=MPBackend(timeout=60.0), fault_ctx=_elastic_ctx()
+    )
+    res = trainer.train()
+    assert res.records
+    assert res.config.p == 3
+    baseline = _final_loss(fault_free)
+    recovered = _final_loss(res)
+    assert abs(recovered - baseline) <= 0.10 * baseline
+
+
+def test_sim_elastic_gives_up_below_min_learners():
+    ctx = FaultContext(
+        plan=FaultPlan.parse("crash:learner=1,step=3"),
+        recovery="elastic",
+        min_learners=2,
+    )
+    config = TrainerConfig(p=2, epochs=2, batch_size=8, lr=0.02, seed=3)
+    trainer = _sasgd(config=config, fault_ctx=ctx)
+    with pytest.raises(ElasticGaveUp) as err:
+        trainer.train()
+    assert err.value.cause.learner_id == 1
+    assert "gave up" in str(err.value)
+
+
+# --------------------------------------------------------------------------
+# checkpoint / resume: interrupted sim run == uninterrupted sim run
+# --------------------------------------------------------------------------
+
+
+def test_sim_resume_reproduces_uninterrupted_run_bit_exactly():
+    uninterrupted = _sasgd()
+    res_full = uninterrupted.train()
+
+    store = MemoryCheckpointStore()
+    crashed = _sasgd(
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("crash:learner=2,step=5"), store=store
+        )
+    )
+    with pytest.raises(LearnerFailure):
+        crashed.train()
+
+    resumed = _sasgd(fault_ctx=FaultContext(store=store, resume=True))
+    res_resumed = resumed.train()
+
+    np.testing.assert_array_equal(
+        resumed.workloads[0].flat.data, uninterrupted.workloads[0].flat.data
+    )
+    assert [repr(float(r.train_loss)) for r in res_resumed.records] == [
+        repr(float(r.train_loss)) for r in res_full.records
+    ]
+    assert [r.test_acc for r in res_resumed.records] == [
+        r.test_acc for r in res_full.records
+    ]
+
+
+def test_sim_fresh_run_with_checkpointing_stays_golden():
+    # writing checkpoints must be observationally free: same params as a
+    # run with no fault context at all
+    plain = _sasgd()
+    plain.train()
+    ckpted = _sasgd(
+        fault_ctx=FaultContext(store=MemoryCheckpointStore())
+    )
+    ckpted.train()
+    np.testing.assert_array_equal(
+        plain.workloads[0].flat.data, ckpted.workloads[0].flat.data
+    )
+
+
+# --------------------------------------------------------------------------
+# parameter-server shard crash + restart_shard recovery
+# --------------------------------------------------------------------------
+
+PS_CRASH = "ps_crash:shard=0,push=5"
+
+
+def _downpour(backend=None, fault_ctx=None):
+    return DownpourTrainer(
+        cifar_problem(scale="unit", seed=1),
+        TrainerConfig(p=2, epochs=2, batch_size=8, lr=0.02, seed=3),
+        DownpourOptions(T=2),
+        backend=backend,
+        fault_ctx=fault_ctx,
+    )
+
+
+def test_sim_ps_crash_fail_fast_is_typed():
+    trainer = _downpour(
+        fault_ctx=FaultContext(plan=FaultPlan.parse(PS_CRASH))
+    )
+    with pytest.raises(LearnerFailure) as err:
+        trainer.train()
+    assert "parameter-server shard 0 crashed" in str(err.value)
+    assert "deadlocked" in str(err.value)
+
+
+def test_sim_restart_shard_recovers():
+    trainer = _downpour(
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse(PS_CRASH), recovery="restart_shard"
+        )
+    )
+    res = trainer.train()
+    assert res.records
+    assert trainer.server.shard_restarts >= 1
+
+
+@needs_fork
+def test_mp_restart_shard_recovers():
+    trainer = _downpour(
+        backend=MPBackend(timeout=30.0),
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse(PS_CRASH), recovery="restart_shard"
+        ),
+    )
+    res = trainer.train()
+    assert res.records
+    assert res.extras["ps_shard_restarts"] >= 1
+
+
+# --------------------------------------------------------------------------
+# stragglers: time changes, math does not
+# --------------------------------------------------------------------------
+
+
+def test_sim_straggler_slows_the_clock_but_not_the_math():
+    plain = _sasgd()
+    res_plain = plain.train()
+    slowed = _sasgd(
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("straggle:learner=1,factor=4")
+        )
+    )
+    res_slow = slowed.train()
+    np.testing.assert_array_equal(
+        plain.workloads[0].flat.data, slowed.workloads[0].flat.data
+    )
+    assert res_slow.virtual_seconds > res_plain.virtual_seconds

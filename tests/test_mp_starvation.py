@@ -1,0 +1,187 @@
+"""Starvation and failure-detection paths of the multiprocessing backend.
+
+Pins the supervision contract: a dead peer aborts a collective round with a
+typed :class:`LearnerFailure` naming the victim (not a bare timeout), a
+genuinely stalled round still times out with a message naming the phase,
+parameter-server reply starvation surfaces as
+:class:`RetryBudgetExhausted`, and a worker killed mid-run is detected by
+the heartbeat monitor in well under the barrier timeout.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.algos import (
+    DownpourOptions,
+    DownpourTrainer,
+    SASGDOptions,
+    SASGDTrainer,
+    TrainerConfig,
+)
+from repro.algos.problems import cifar_problem
+from repro.faults import FaultContext, FaultPlan
+from repro.faults.supervisor import LivenessBlock
+from repro.runtime import LearnerFailure, MPBackend, RetryBudgetExhausted
+from repro.runtime.mp_backend import MPCollective
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="mp backend needs fork")
+
+
+@pytest.fixture
+def collective():
+    ctx = multiprocessing.get_context("fork" if HAVE_FORK else None)
+    coll = MPCollective(ctx, p=2, timeout=0.6)
+    coll.allocate(4, np.float64)
+    yield coll
+    coll.teardown()
+
+
+# --------------------------------------------------------------------------
+# collective barrier
+# --------------------------------------------------------------------------
+
+
+def test_barrier_timeout_is_typed_and_names_the_phase(collective):
+    # rank 0 arrives, rank 1 never does and is never declared dead: the
+    # polling barrier must give up after the timeout with a LearnerFailure
+    # (not hang, not raise a bare queue/timeout error)
+    with pytest.raises(LearnerFailure) as err:
+        collective._wait(0)
+    assert "collective barrier timed out" in str(err.value)
+    assert "deadlocked" in str(err.value)
+
+
+def test_barrier_aborts_on_dead_peer_with_victim_identity(collective):
+    collective._liveness.declare_dead(1, 7)
+    with pytest.raises(LearnerFailure) as err:
+        collective._wait(0)
+    assert err.value.learner_id == 1
+    assert err.value.step == 7
+    assert "peer learner1 died" in str(err.value)
+
+
+def test_barrier_survives_a_failed_round(collective):
+    # after an aborted round the barrier object must still be usable: a
+    # multiprocessing.Barrier would be permanently broken here
+    collective._liveness.declare_dead(1, 2)
+    with pytest.raises(LearnerFailure):
+        collective._wait(0)
+    with pytest.raises(LearnerFailure) as err:
+        collective._wait(0)
+    assert err.value.learner_id == 1
+
+
+# --------------------------------------------------------------------------
+# allgather starvation
+# --------------------------------------------------------------------------
+
+
+def test_allgather_starvation_names_the_phase(collective):
+    with pytest.raises(LearnerFailure) as err:
+        collective._allgather(0, "piece", ("cagg", 0), 64.0)
+    msg = str(err.value)
+    assert "allgather" in msg
+    assert "starved" in msg
+    assert "deadlocked" in msg
+
+
+def test_allgather_aborts_on_dead_peer_with_victim_identity(collective):
+    collective._liveness.declare_dead(1, 4)
+    with pytest.raises(LearnerFailure) as err:
+        collective._allgather(0, "piece", ("cagg", 0), 64.0)
+    assert err.value.learner_id == 1
+    assert err.value.step == 4
+    assert "peer learner1 died before contributing" in str(err.value)
+
+
+# --------------------------------------------------------------------------
+# liveness block bookkeeping
+# --------------------------------------------------------------------------
+
+
+def test_liveness_block_roundtrip():
+    block = LivenessBlock(3, ["coll"])
+    try:
+        assert block.first_dead() is None
+        block.declare_dead(2, 9)
+        assert block.is_dead(2)
+        assert int(block.dead_step[2]) == 9
+        assert block.first_dead() == 2
+        assert block.first_dead(exclude=2) is None
+        block.mark_finished(1)
+        assert block.is_finished(1)
+    finally:
+        block.close()
+
+
+# --------------------------------------------------------------------------
+# end-to-end: killed worker, detection latency, typed surfacing
+# --------------------------------------------------------------------------
+
+
+def _p2_config(seed=3, epochs=2):
+    return TrainerConfig(p=2, epochs=epochs, batch_size=8, lr=0.02, seed=seed)
+
+
+@needs_fork
+def test_mp_killed_worker_detected_fast_with_labels():
+    # the planned crash is a real os._exit(3) in the worker — no farewell
+    # message — so everything the parent reports comes from supervision
+    trainer = SASGDTrainer(
+        cifar_problem(scale="unit", seed=1),
+        _p2_config(),
+        SASGDOptions(T=2),
+        backend=MPBackend(timeout=30.0),
+        fault_ctx=FaultContext(plan=FaultPlan.parse("crash:learner=1,step=3")),
+    )
+    with pytest.raises(LearnerFailure) as err:
+        trainer.train()
+    failure = err.value
+    assert failure.learner_id == 1
+    assert failure.step == 3
+    assert "learner1 died after 3 local steps" in str(failure)
+    assert "deadlocked" in str(failure)
+    # acceptance bar: heartbeat/process-probe detection in < 5 s, and the
+    # measured latency rides on the exception for the caller
+    assert failure.detection_seconds is not None
+    assert 0.0 <= failure.detection_seconds < 5.0
+
+
+@needs_fork
+def test_mp_ps_reply_starvation_exhausts_retry_budget():
+    # four stacked drops of learner 0's first PS request outlast the default
+    # 3-retry budget: the client must give up with a typed, shard-naming
+    # RetryBudgetExhausted instead of hanging on the queue forever
+    spec = ";".join(["drop:learner=0,nth=0"] * 4)
+    trainer = DownpourTrainer(
+        cifar_problem(scale="unit", seed=1),
+        _p2_config(),
+        DownpourOptions(T=2),
+        backend=MPBackend(timeout=3.0),
+        fault_ctx=FaultContext(plan=FaultPlan.parse(spec)),
+    )
+    with pytest.raises(RetryBudgetExhausted) as err:
+        trainer.train()
+    assert err.value.learner_id == 0
+    assert err.value.attempts >= 3
+    msg = str(err.value)
+    assert "parameter-server shard" in msg
+    assert "deadlocked" in msg
+
+
+@needs_fork
+def test_mp_ps_drops_within_budget_are_retried_and_counted():
+    spec = ";".join(["drop:learner=0,nth=0"] * 2)
+    trainer = DownpourTrainer(
+        cifar_problem(scale="unit", seed=1),
+        _p2_config(),
+        DownpourOptions(T=2),
+        backend=MPBackend(timeout=10.0),
+        fault_ctx=FaultContext(plan=FaultPlan.parse(spec)),
+    )
+    res = trainer.train()
+    assert res.records
+    assert res.extras["ps_retries"] >= 2
