@@ -129,6 +129,53 @@ def test_obs_disabled_overhead(benchmark):
     assert per_guard < 0.05 * min(per_message)
 
 
+def test_events_disabled_overhead(benchmark):
+    """With no EventBus installed, ``emit()`` must add no measurable cost.
+
+    Every event hook on the training hot paths (PS applies, faults, epoch
+    records) reduces, when disabled, to one module-global read plus a
+    ``None`` check inside :func:`repro.obs.events.emit`.  This times the
+    full disabled-path call — including Python call overhead and the
+    ``**data`` packing a real call site pays — against the per-message cost
+    of the contended fabric workload and bounds the ratio.
+    """
+    from repro.obs.events import active_bus, emit
+
+    def run():
+        eng = Engine()
+        topo = build_binary_tree_topology(8)
+        fab = Fabric(eng, topo, contention=True)
+        a = fab.attach("a", "gpu0")
+        fab.attach("b", "gpu7")
+
+        def sender():
+            for i in range(1_000):
+                yield from a.send("b", ("t", i), None, nbytes=1024.0)
+
+        eng.spawn(sender())
+        eng.run()
+        return fab.total_messages
+
+    assert benchmark(run) == 1_000
+    assert active_bus() is None  # the benchmark exercised the disabled path
+
+    # message cost: best of 5 un-instrumented-scale repeats
+    per_message = []
+    for _ in range(5):
+        t0 = time.perf_counter()
+        run()
+        per_message.append((time.perf_counter() - t0) / 1_000)
+
+    # disabled-emit cost: exactly what an instrumented call site pays
+    n = 100_000
+    t0 = time.perf_counter()
+    for i in range(n):
+        emit("ps_apply", source="learner0", op="push_pull", step=i)
+    per_emit = (time.perf_counter() - t0) / n
+
+    assert per_emit < 0.05 * min(per_message)
+
+
 def test_conv_forward_backward_kernel(benchmark):
     """The hot kernel of every convergence experiment (bench-width conv)."""
     rng = np.random.default_rng(0)

@@ -7,7 +7,7 @@ list
 run EXP_ID [--set key=value ...] [--backend {sim,mp}] [--save out.json]
         [--jobs N] [--cache-dir D] [--trace t.json] [--metrics m.json]
         [--manifest mf.json] [--profile] [--fault SPEC] [--recovery POLICY]
-        [--checkpoint-dir D] [--resume] [--timeout S]
+        [--checkpoint-dir D] [--resume] [--timeout S] [--events PATH|console]
     Regenerate one experiment and print its report.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
     ``--backend mp`` runs the trainers as real parallel worker processes
@@ -38,9 +38,17 @@ bench [--quick] [--out FILE] [--check BASELINE] [--threshold X]
 claims
     Print every experiment's paper claim — the checklist EXPERIMENTS.md
     verifies.
+    ``--events`` streams structured run telemetry: ``console`` prints live
+    progress lines, any other value records a JSONL event log (seq-numbered
+    snapshot/delta protocol) that ``repro watch`` tails and ``repro
+    inspect`` summarises.
 inspect FILE
     Summarise a file written by ``run``: experiment result, metrics export,
-    Chrome trace, or run manifest (auto-detected).
+    Chrome trace, run manifest, or JSONL event log (auto-detected).
+watch EVENTS.jsonl [--interval S] [--once]
+    Tail a ``--events`` recorder file, folding the stream into a live
+    ``RunSnapshot`` view; exits when the run finishes (or after one render
+    with ``--once``).
 """
 
 from __future__ import annotations
@@ -122,8 +130,21 @@ def _cmd_run(args, parser) -> int:
 
     want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
     session = obs.ObsSession(trace=bool(args.trace or args.profile))
+    event_files = []
     t0 = time.perf_counter()
     with contextlib.ExitStack() as stack:
+        if args.events:
+            sinks = []
+            for spec in args.events:
+                if spec in ("console", "-"):
+                    sinks.append(obs.ConsoleProgressSink())
+                else:
+                    sinks.append(obs.JsonlRecorderSink(spec))
+                    event_files.append(spec)
+            bus = obs.EventBus(sinks=sinks)
+            # unwind order: uninstall the bus first, close the sinks after
+            stack.callback(bus.close)
+            stack.enter_context(obs.use_events(bus))
         if fault_ctx is not None:
             from .faults import use_faults
 
@@ -141,6 +162,8 @@ def _cmd_run(args, parser) -> int:
     wall = time.perf_counter() - t0
 
     print(format_result(result))
+    for spec in event_files:
+        print(f"events recorded to {spec} (replay with `repro watch {spec}`)")
     if args.save:
         from .harness.serialization import save_result
 
@@ -208,14 +231,71 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _inspect_events(path: str, lines) -> int:
+    """Summarise a JSONL event log (counts, timeline, final snapshot)."""
+    from . import obs
+
+    try:
+        events = [obs.Event.parse_line(line) for line in lines]
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"{path}: broken event log: {exc}", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"{path}: empty event log", file=sys.stderr)
+        return 1
+
+    counts: dict = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    seqs = [e.seq for e in events]
+    gaps = [
+        (prev, cur)
+        for prev, cur in zip(seqs, seqs[1:])
+        if cur != prev + 1
+    ]
+    print(f"{path}: event log, {len(events)} event(s) (format v{events[0].v})")
+    print(f"  time:  {events[0].t:.3f}s .. {events[-1].t:.3f}s")
+    seq_note = "contiguous" if not gaps else f"{len(gaps)} gap(s)!"
+    print(f"  seq:   {seqs[0]} .. {seqs[-1]} ({seq_note})")
+    print("  kinds:")
+    for kind, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+        print(f"    {kind:<20} {n}")
+    timeline = [
+        e for e in events
+        if e.kind in ("fault_injected", "failure_detected", "recovery_action")
+    ]
+    if timeline:
+        print("  fault/recovery timeline:")
+        for e in timeline:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(e.data.items()))
+            print(f"    [{e.t:9.3f}s #{e.seq}] {e.kind} {e.source} {detail}")
+    snap = obs.RunSnapshot.from_events(events, strict=False)
+    print("  final snapshot:")
+    for line in obs.format_snapshot(snap).splitlines():
+        print(f"  {line}")
+    return 0
+
+
 def _cmd_inspect(path: str) -> int:
     from . import obs
 
     try:
-        data = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        text = Path(path).read_text()
+    except OSError as exc:
         print(f"cannot read {path}: {exc}", file=sys.stderr)
         return 1
+    lines = [line for line in text.splitlines() if line.strip()]
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        # not one JSON document — a JSONL event log, or junk
+        if lines and lines[0].lstrip().startswith("{"):
+            return _inspect_events(path, lines)
+        print(f"cannot read {path}: not a repro JSON document", file=sys.stderr)
+        return 1
+    if isinstance(data, dict) and {"kind", "seq", "data"} <= set(data):
+        # a single-event log is still an event log
+        return _inspect_events(path, lines)
     if not isinstance(data, dict):
         print(f"{path}: not a repro JSON document", file=sys.stderr)
         return 1
@@ -290,6 +370,53 @@ def _cmd_inspect(path: str) -> int:
 
     print(f"{path}: unrecognised document (keys: {sorted(data)[:8]})", file=sys.stderr)
     return 1
+
+
+def _cmd_watch(args) -> int:
+    """Tail a JSONL event recorder file and render live snapshot views."""
+    from . import obs
+
+    path = Path(args.path)
+    snap = obs.RunSnapshot()
+    pos = 0
+    partial = ""
+    saw_any = False
+    try:
+        while True:
+            if path.exists():
+                with open(path) as fh:
+                    fh.seek(pos)
+                    chunk = fh.read()
+                    pos = fh.tell()
+                # the recorder flushes whole lines, but a reader racing the
+                # writer can still see a torn tail — keep it for next round
+                partial += chunk
+                lines = partial.split("\n")
+                partial = lines.pop()
+                fresh = False
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        snap.apply(obs.Event.parse_line(line))
+                    except (ValueError, json.JSONDecodeError) as exc:
+                        print(f"skipping broken event line: {exc}", file=sys.stderr)
+                        continue
+                    saw_any = True
+                    fresh = True
+                if fresh:
+                    print(obs.format_snapshot(snap))
+                    print()
+            if args.once or snap.finished:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if not saw_any:
+        print(f"{args.path}: no events", file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -387,6 +514,15 @@ def main(argv=None) -> int:
         metavar="S",
         help="mp-backend starvation timeout in seconds (default 30)",
     )
+    run_p.add_argument(
+        "--events",
+        action="append",
+        default=[],
+        metavar="PATH|console",
+        help="stream structured run events: 'console' (or '-') prints live "
+        "progress lines, any other value records a JSONL event log readable "
+        "by `repro watch` and `repro inspect` (repeatable)",
+    )
 
     bench_p = sub.add_parser(
         "bench", help="run substrate microbenchmarks, write a BENCH_<rev>.json"
@@ -425,8 +561,28 @@ def main(argv=None) -> int:
         "(default: 60)",
     )
 
-    ins_p = sub.add_parser("inspect", help="summarise a result/metrics/trace/manifest file")
+    ins_p = sub.add_parser(
+        "inspect",
+        help="summarise a result/metrics/trace/manifest/event-log file",
+    )
     ins_p.add_argument("path")
+
+    watch_p = sub.add_parser(
+        "watch", help="tail a JSONL event log and render a live snapshot view"
+    )
+    watch_p.add_argument("path", help="events file written by `run --events`")
+    watch_p.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="S",
+        help="poll interval in seconds (default: 0.5)",
+    )
+    watch_p.add_argument(
+        "--once",
+        action="store_true",
+        help="render the current snapshot once and exit (no tailing)",
+    )
 
     args = parser.parse_args(argv)
 
@@ -449,6 +605,9 @@ def main(argv=None) -> int:
 
     if args.command == "inspect":
         return _cmd_inspect(args.path)
+
+    if args.command == "watch":
+        return _cmd_watch(args)
 
     if args.command == "bench":
         return _cmd_bench(args)

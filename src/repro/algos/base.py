@@ -230,12 +230,25 @@ class MetricsTape:
         self._win_loss = 0.0
         self._win_acc = 0.0
         self._win_batches = 0
+        # cumulative, *unscaled* accounting for this rank alone — the mp
+        # backend's collective tape scales nb by p, so per-rank attribution
+        # needs the raw count carried separately
+        self.own_samples = 0
+        self.batches_total = 0
+        self.loss_total = 0.0
+        self.acc_total = 0.0
 
-    def on_batch(self, nb: int, loss: float, acc: float) -> int:
+    def on_batch(self, nb: int, loss: float, acc: float, raw: Optional[int] = None) -> int:
         """Account one minibatch; returns how many *new* epoch boundaries the
         collective sample counter crossed (each boundary is reported once,
-        even if recording is deferred to a later synchronisation point)."""
+        even if recording is deferred to a later synchronisation point).
+        ``raw`` is the unscaled batch size when ``nb`` carries a collective
+        sample-scale factor (the mp backend)."""
         self.samples += nb
+        self.own_samples += nb if raw is None else raw
+        self.batches_total += 1
+        self.loss_total += loss
+        self.acc_total += acc
         self._win_loss += loss
         self._win_acc += acc
         self._win_batches += 1
@@ -272,6 +285,16 @@ class MetricsTape:
     def done(self) -> bool:
         return self.epoch >= self.config.epochs
 
+    def rank_summary(self) -> Dict[str, float]:
+        """This rank's own (unscaled) cumulative contribution."""
+        batches = max(1, self.batches_total)
+        return {
+            "samples": int(self.own_samples),
+            "batches": int(self.batches_total),
+            "mean_loss": self.loss_total / batches,
+            "mean_acc": self.acc_total / batches,
+        }
+
     # -- checkpoint support ---------------------------------------------------
 
     def state(self) -> Dict[str, object]:
@@ -285,6 +308,10 @@ class MetricsTape:
             "win_loss": self._win_loss,
             "win_acc": self._win_acc,
             "win_batches": self._win_batches,
+            "own_samples": self.own_samples,
+            "batches_total": self.batches_total,
+            "loss_total": self.loss_total,
+            "acc_total": self.acc_total,
         }
 
     def restore(self, state: Dict[str, object]) -> None:
@@ -295,6 +322,10 @@ class MetricsTape:
         self._win_loss = float(state["win_loss"])
         self._win_acc = float(state["win_acc"])
         self._win_batches = int(state["win_batches"])
+        self.own_samples = int(state.get("own_samples", 0))  # type: ignore[arg-type]
+        self.batches_total = int(state.get("batches_total", 0))  # type: ignore[arg-type]
+        self.loss_total = float(state.get("loss_total", 0.0))  # type: ignore[arg-type]
+        self.acc_total = float(state.get("acc_total", 0.0))  # type: ignore[arg-type]
 
 
 def spawn_rngs(seed: int, n: int) -> List[np.random.Generator]:

@@ -27,6 +27,7 @@ import numpy as np
 
 from ..faults.checkpoint import Checkpoint, DirCheckpointStore
 from ..faults.context import FaultContext, resolve_fault_context
+from ..obs import events as _events
 from ..obs.runtime import TrainerObs, active as _obs_active
 from ..runtime import Backend, resolve_backend
 from .base import (
@@ -165,7 +166,7 @@ class DistributedTrainer:
         self._local_steps[lid] = step + 1
         if self._obs is not None:
             self._obs.on_batch(nb, wl.flat.grad)
-        return self.tape.on_batch(nb * self._sample_scale, loss, acc)
+        return self.tape.on_batch(nb * self._sample_scale, loss, acc, raw=nb)
 
     def maybe_crash(self, lid: int) -> bool:
         """True when the fault plan kills ``lid`` at its current local step.
@@ -190,7 +191,21 @@ class DistributedTrainer:
         learner record onto the shared tape, exactly as before.
         """
         if crossed > 0 and self.backend.should_record(lid):
+            before = len(self.tape.records)
             self.tape.record_epochs(crossed, self.workloads[0].model)
+            if _events.active_bus() is not None:
+                for rec in self.tape.records[before:]:
+                    _events.emit(
+                        _events.EPOCH_PROGRESS,
+                        source=f"learner{lid}",
+                        t=self.backend.clock(),
+                        epoch=rec.epoch,
+                        samples=rec.samples,
+                        train_loss=rec.train_loss,
+                        train_acc=rec.train_acc,
+                        test_loss=rec.test_loss,
+                        test_acc=rec.test_acc,
+                    )
 
     def comm(self, lid: int, coroutine: Generator) -> Generator:
         """Drive a communication coroutine under the backend's comm clock."""
@@ -286,6 +301,14 @@ class DistributedTrainer:
             p=self.config.p,
         )
         ctx.store.save(ckpt)
+        _events.emit(
+            _events.CHECKPOINT_WRITTEN,
+            source=f"learner{lid}",
+            t=self.backend.clock(),
+            interval=interval,
+            steps_done=steps_done,
+            clock=ckpt.clock,
+        )
         if self._obs is not None:
             self._obs.session.registry.counter(
                 "faults.checkpoints_total", **self._obs.labels
@@ -355,16 +378,28 @@ class DistributedTrainer:
             self.algorithm, self.config.p, self.problem.name
         )
         ctx = self.fault_ctx
-        if ctx is not None and ctx.wants_checkpoints:
-            if ctx.resume:
-                self._try_resume()
-            if self._resumed_from is None:
-                # seed the store with the starting state so a crash in the
-                # very first interval still has something to restart from
-                self._maybe_checkpoint(0, 0, 0, force=True, in_worker=False)
+        if ctx is not None and ctx.wants_checkpoints and ctx.resume:
+            self._try_resume()
+        server = getattr(self, "server", None)
+        _events.emit(
+            _events.RUN_STARTED,
+            t=self.backend.clock(),
+            algo=self.algorithm,
+            problem=self.problem.name,
+            p=self.config.p,
+            backend=self.backend.name,
+            seed=self.config.seed,
+            epochs=self.config.epochs,
+            n_shards=server.layout.n_shards if server is not None else 0,
+            resumed=self._resumed_from is not None,
+        )
+        if ctx is not None and ctx.wants_checkpoints and self._resumed_from is None:
+            # seed the store with the starting state so a crash in the very
+            # first interval still has something to restart from
+            self._maybe_checkpoint(0, 0, 0, force=True, in_worker=False)
         try:
             stats = self.backend.run(self)
-        except BaseException:
+        except BaseException as exc:
             # a failed attempt still reports what was injected/detected —
             # elastic restarts happen on a fresh backend, so this is the
             # only chance these counters get
@@ -372,6 +407,12 @@ class DistributedTrainer:
             publish = getattr(self.backend, "publish_fault_obs", None)
             if sess is not None and publish is not None:
                 publish(self, sess)
+            _events.emit(
+                _events.RUN_FINISHED,
+                t=self.backend.clock(),
+                status="failed",
+                error=f"{type(exc).__name__}: {exc}",
+            )
             raise
         extras: Dict[str, object] = dict(stats.extras)
         extras.setdefault("backend", self.backend.name)
@@ -380,6 +421,14 @@ class DistributedTrainer:
         sess = _obs_active()
         if sess is not None:
             self.backend.publish_obs(self, sess, wall)
+        _events.emit(
+            _events.RUN_FINISHED,
+            t=self.backend.clock(),
+            status="ok",
+            duration=stats.duration,
+            samples=self.tape.samples,
+            epochs=self.tape.epoch,
+        )
         return TrainResult(
             algorithm=self.algorithm,
             problem=self.problem.name,

@@ -23,6 +23,7 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
+from ..obs import events as _events
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -112,6 +113,16 @@ class DownpourTrainer(DistributedTrainer):
                 x = yield from self.comm(lid, round_trip())
                 wl.flat.set_data(x)
                 gs[...] = 0.0
+                if _events.active_bus() is not None:
+                    staleness = client.staleness_samples
+                    _events.emit(
+                        _events.PS_APPLY,
+                        source=f"learner{lid}",
+                        t=self.backend.clock(),
+                        op="push_pull",
+                        step=step,
+                        staleness=int(staleness[-1]) if staleness else 0,
+                    )
                 # x is the freshest server-consistent vector this learner saw
                 self._maybe_checkpoint(lid, step // T, step, x=x)
 

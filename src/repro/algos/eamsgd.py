@@ -27,6 +27,7 @@ from typing import Dict, Generator, Optional
 
 import numpy as np
 
+from ..obs import events as _events
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -112,6 +113,16 @@ class EAMSGDTrainer(DistributedTrainer):
                 )
                 if e is not None:
                     wl.flat.data -= e
+                if _events.active_bus() is not None:
+                    staleness = client.staleness_samples
+                    _events.emit(
+                        _events.PS_APPLY,
+                        source=f"learner{lid}",
+                        t=self.backend.clock(),
+                        op="elastic",
+                        step=step,
+                        staleness=int(staleness[-1]) if staleness else 0,
+                    )
                 # the replica just re-synchronised against the center:
                 # snapshot it (momentum restarts at zero on resume — a
                 # documented coarse-resume approximation)

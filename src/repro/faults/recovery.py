@@ -83,7 +83,16 @@ def _note_recovery(
 ) -> None:
     """Emit the recovery decision as obs metrics on the failed attempt."""
     from .. import obs
+    from ..obs import events as _events
 
+    _events.emit(
+        _events.RECOVERY_ACTION,
+        t=trainer.backend.clock(),
+        action="elastic_restart",
+        failed_learner=failure.learner_id,
+        survivors=q,
+        restarts=restarts,
+    )
     sess = obs.active()
     if sess is None:
         return

@@ -34,9 +34,11 @@ import json
 import multiprocessing
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..obs import events as _events
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 from .serialization import result_from_dict, result_to_dict
 
@@ -209,6 +211,9 @@ def merge_results(exp_id: str, parts: Sequence[ExperimentResult]) -> ExperimentR
 
 def _run_point(exp_id: str, kwargs: dict) -> dict:
     """Worker entry: run one grid point, return the serialised result."""
+    # a forked pool worker inherits the parent's ambient event bus (and any
+    # open sink file descriptors); cell-level progress is the parent's story
+    _events.install(None)
     return result_to_dict(run_experiment(exp_id, **kwargs))
 
 
@@ -237,6 +242,22 @@ def iter_grid(
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     keys = [config_key(exp_id, kwargs) for exp_id, kwargs in points]
 
+    # sweep-level telemetry: per-cell progress rolled up into the ambient
+    # bus's snapshot (all no-ops when no bus is installed)
+    streaming = _events.active_bus() is not None
+    t0 = time.monotonic()
+
+    def sweep_emit(kind: str, **data) -> None:
+        if streaming:
+            _events.emit(kind, source="sweep", t=time.monotonic() - t0, **data)
+
+    sweep_emit(
+        _events.SWEEP_STARTED,
+        exp_id=",".join(sorted({exp_id for exp_id, _ in points})),
+        total=len(points),
+        jobs=jobs,
+    )
+
     results: Dict[int, ExperimentResult] = {}
     pending: List[int] = []
     for i, key in enumerate(keys):
@@ -249,20 +270,32 @@ def iter_grid(
     def finish(i: int, result: ExperimentResult) -> ExperimentResult:
         if cache is not None:
             cache.put(keys[i], points[i][0], points[i][1], result)
+        sweep_emit(
+            _events.CELL_FINISHED, index=i, exp_id=points[i][0], cached=False
+        )
         return result
+
+    def yield_cached(i: int) -> ExperimentResult:
+        sweep_emit(
+            _events.CELL_FINISHED, index=i, exp_id=points[i][0], cached=True
+        )
+        return results[i]
 
     if not pending:
         for i in range(len(points)):
-            yield i, results[i]
+            yield i, yield_cached(i)
+        sweep_emit(_events.SWEEP_FINISHED, status="ok")
         return
 
     if jobs == 1:
         for i in range(len(points)):
             if i in results:
-                yield i, results[i]
+                yield i, yield_cached(i)
             else:
                 exp_id, kwargs = points[i]
+                sweep_emit(_events.CELL_STARTED, index=i, exp_id=exp_id)
                 yield i, finish(i, run_experiment(exp_id, **kwargs))
+        sweep_emit(_events.SWEEP_FINISHED, status="ok")
         return
 
     from concurrent.futures import ProcessPoolExecutor
@@ -271,12 +304,16 @@ def iter_grid(
         mp_context if mp_context is not None else ("fork" if os.name == "posix" else "spawn")
     )
     with ProcessPoolExecutor(max_workers=min(jobs, len(pending)), mp_context=ctx) as pool:
-        futures = {i: pool.submit(_run_point, *points[i]) for i in pending}
+        futures = {}
+        for i in pending:
+            sweep_emit(_events.CELL_STARTED, index=i, exp_id=points[i][0])
+            futures[i] = pool.submit(_run_point, *points[i])
         for i in range(len(points)):
             if i in results:
-                yield i, results[i]
+                yield i, yield_cached(i)
             else:
                 yield i, finish(i, result_from_dict(futures[i].result()))
+    sweep_emit(_events.SWEEP_FINISHED, status="ok")
 
 
 def run_grid(

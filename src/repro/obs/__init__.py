@@ -15,6 +15,22 @@ Typical use (also wired into ``python -m repro run EXP --trace --metrics``)::
     session.build_exporter().save("trace.json") # chrome://tracing / Perfetto
 """
 
+from .events import (
+    CallbackSink,
+    ConsoleProgressSink,
+    Event,
+    EventBus,
+    InMemorySink,
+    JsonlRecorderSink,
+    RunSnapshot,
+    SeqGap,
+    Sink,
+    active_bus,
+    emit,
+    format_snapshot,
+    read_events,
+    use_events,
+)
 from .manifest import RunManifest, git_revision, manifest_path_for
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
 from .profiler import Profiler
@@ -22,21 +38,35 @@ from .runtime import ObsSession, TrainerObs, active, observe
 from .trace_export import MessageEvent, TraceExporter, TraceRun, busy_seconds
 
 __all__ = [
+    "CallbackSink",
+    "ConsoleProgressSink",
     "Counter",
+    "Event",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "InMemorySink",
+    "JsonlRecorderSink",
     "MessageEvent",
     "MetricsRegistry",
     "ObsSession",
     "Profiler",
     "RunManifest",
+    "RunSnapshot",
+    "SeqGap",
+    "Sink",
     "TraceExporter",
     "TraceRun",
     "TrainerObs",
     "active",
+    "active_bus",
     "busy_seconds",
+    "emit",
+    "format_snapshot",
     "git_revision",
     "manifest_path_for",
     "metric_key",
     "observe",
+    "read_events",
+    "use_events",
 ]

@@ -33,6 +33,7 @@ import numpy as np
 
 from ..cluster.machine import Machine
 from ..comm.fabric import Endpoint, Fabric
+from ..obs import events as _events
 from ..obs.runtime import active as _obs_active
 from ..sim import Delay
 
@@ -227,6 +228,14 @@ class ShardedParameterServer:
                     crash_at = None
                     tracer.begin(actor, "fault")
                     tracer.end(actor, "fault")
+                    _events.emit(
+                        _events.FAULT_INJECTED,
+                        source=actor,
+                        t=engine.now,
+                        fault="ps_crash",
+                        shard=sid,
+                        applies=applies,
+                    )
                     if not self.restart_shards:
                         self.crashed_shards.add(sid)
                         return
@@ -238,6 +247,14 @@ class ShardedParameterServer:
                     tracer.begin(actor, "restart")
                     yield Delay(self.restart_seconds)
                     tracer.end(actor, "restart")
+                    _events.emit(
+                        _events.RECOVERY_ACTION,
+                        source=actor,
+                        t=engine.now,
+                        action="restart_shard",
+                        shard=sid,
+                        restart_seconds=self.restart_seconds,
+                    )
 
     def stop(self) -> None:
         """Ask shard processes to exit after their current request."""

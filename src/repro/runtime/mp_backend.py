@@ -41,10 +41,20 @@ sim backend (same ``SeedSequence`` tree), so SASGD's trajectories differ
 from sim only by floating-point summation order; PS-based algorithms see
 real (nondeterministic) arrival order, which is the point.
 
-Results: only rank 0's metrics tape survives (one tape per process), so the
-tape scales each recorded batch by ``p`` (``sample_scale``) to keep the
-collective sample counter honest; algorithm-specific state travels back
-through the trainers' ``_worker_export`` / ``_worker_import`` hooks.
+Results: rank 0's metrics tape carries the epoch records (it scales each
+recorded batch by ``p`` — ``sample_scale`` — to keep the collective sample
+counter honest), and every rank additionally ships its own *unscaled*
+cumulative tape summary home, merged into ``extras["rank_tapes"]`` with a
+labeled ``rank`` dimension; algorithm-specific state travels back through
+the trainers' ``_worker_export`` / ``_worker_import`` hooks.
+
+Telemetry: when an ambient :class:`repro.obs.events.EventBus` is installed,
+each forked worker swaps the inherited parent bus for a queue-forwarding
+one (the parent's sinks must never be written from two processes); a
+parent-side aggregator thread drains the queue and republishes each event
+on the real bus, which assigns the authoritative gap-free seq order.
+Planned-crash events are emitted parent-side (an ``os._exit`` worker cannot
+reliably flush its queue feeder).
 """
 
 from __future__ import annotations
@@ -66,6 +76,7 @@ from ..faults.supervisor import (
     PollingBarrier,
     WorkerMonitor,
 )
+from ..obs import events as _events
 from ..ps.server import ShardLayout
 from ..sim.trace import Span
 from .api import (
@@ -384,11 +395,25 @@ class MPPSClient(PSClientLike):
         delay = plan.ps_reply_delay(self.rank, ordinal)
         if delay > 0.0:
             self.ps.fault_counts["delay"] = self.ps.fault_counts.get("delay", 0) + 1
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                fault="delay",
+                seconds=delay,
+                ordinal=ordinal,
+            )
             time.sleep(delay)
         drops = plan.ps_reply_drops(self.rank, ordinal)
         if drops:
             self.ps.fault_counts["drop"] = (
                 self.ps.fault_counts.get("drop", 0) + drops
+            )
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                fault="drop",
+                count=drops,
+                ordinal=ordinal,
             )
         return drops
 
@@ -649,6 +674,13 @@ class MPParameterServer(ParameterServerHandle):
                 self.fault_counts["ps_crash"] = (
                     self.fault_counts.get("ps_crash", 0) + 1
                 )
+                _events.emit(
+                    _events.FAULT_INJECTED,
+                    source=f"ps{sid}",
+                    t=now,
+                    fault="ps_crash",
+                    shard=sid,
+                )
                 if not self.restart_shards:
                     self.crashed_shards.add(sid)
                     continue
@@ -661,8 +693,14 @@ class MPParameterServer(ParameterServerHandle):
                     self._x_view[lo:hi] = snap[lo:hi]
                 self._spawn_shard(sid, restored=True)
                 self.shard_restarts += 1
-                self.events.append(
-                    (f"ps{sid}", "ps_restart", time.perf_counter() - self._t0)
+                restart_t = time.perf_counter() - self._t0
+                self.events.append((f"ps{sid}", "ps_restart", restart_t))
+                _events.emit(
+                    _events.RECOVERY_ACTION,
+                    source=f"ps{sid}",
+                    t=restart_t,
+                    action="restart_shard",
+                    shard=sid,
                 )
             self._watchdog_stop.wait(0.1)
 
@@ -712,6 +750,19 @@ class MPParameterServer(ParameterServerHandle):
 def _worker_main(trainer, lid: int, result_q) -> None:
     """Drive one learner coroutine to completion inside a forked worker."""
     backend = trainer.backend
+    # the forked child inherits the parent's ambient bus (and any open sink
+    # file descriptors) — swap it for a queue-forwarding bus so all worker
+    # events reach the parent aggregator, which assigns the real seq order
+    if backend._event_q is not None:
+        _events.install(
+            _events.EventBus(
+                sinks=[_events.QueueSink(backend._event_q)],
+                clock=backend.clock,
+                keep_snapshot=False,
+            )
+        )
+    else:
+        _events.install(None)
     liveness: Optional[LivenessBlock] = backend._liveness
     heartbeat = None
     if liveness is not None:
@@ -736,6 +787,8 @@ def _worker_main(trainer, lid: int, result_q) -> None:
         data = {
             "records": trainer.tape.records if lid == 0 else None,
             "samples": trainer.tape.samples,
+            "epoch": trainer.tape.epoch,
+            "tape_rank": trainer.tape.rank_summary(),
             "flat": np.array(trainer.workloads[lid].flat.data, copy=True)
             if lid == 0
             else None,
@@ -813,6 +866,8 @@ class MPBackend(Backend):
         self._fault_counts: Dict[str, int] = {}
         self._worker_fault_counts: Dict[str, int] = {}  # per-process after fork
         self._retries_total = 0
+        self._event_q = None  # worker→parent event forwarding (run() arms it)
+        self._rank_tapes: List[Dict[str, Any]] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -882,6 +937,12 @@ class MPBackend(Backend):
         self._worker_fault_counts["straggle"] = (
             self._worker_fault_counts.get("straggle", 0) + 1
         )
+        _events.emit(
+            _events.FAULT_INJECTED,
+            source=f"learner{lid}",
+            fault="straggle",
+            seconds=seconds,
+        )
         return blocking(time.sleep, seconds)
 
     def respawn(self) -> "MPBackend":
@@ -902,6 +963,36 @@ class MPBackend(Backend):
         procs = []
         monitor: Optional[WorkerMonitor] = None
         self._t0 = time.perf_counter()
+        # worker event forwarding: armed only when a bus is live, so
+        # un-observed runs never pay for the queue (must happen before the
+        # fork so workers inherit the queue handle)
+        bus = _events.active_bus()
+        aggregator: Optional[threading.Thread] = None
+        aggregator_stop = threading.Event()
+        if bus is not None:
+            self._event_q = self._ctx.Queue()
+
+            def _drain_events() -> None:
+                while True:
+                    try:
+                        payload = self._event_q.get(timeout=0.1)
+                    except queue.Empty:
+                        if aggregator_stop.is_set():
+                            return
+                        continue
+                    except (EOFError, OSError):  # queue torn down under us
+                        return
+                    try:
+                        bus.republish(_events.Event.from_dict(payload))
+                    except Exception:
+                        # a worker killed mid-put can leave a torn pickle;
+                        # skip it rather than lose the aggregator
+                        continue
+
+            aggregator = threading.Thread(
+                target=_drain_events, name="events-aggregator", daemon=True
+            )
+            aggregator.start()
         try:
             procs = [
                 self._ctx.Process(
@@ -913,10 +1004,31 @@ class MPBackend(Backend):
             for proc in procs:
                 proc.start()
 
+            planned = self._plan.crash_learners() if self._plan is not None else {}
+
             def _on_death(rank: int, latency: float) -> None:
                 self._detections[rank] = latency
+                now = self.clock()
                 self._fault_events.append(
-                    (trainer.learner_names[rank], "fault", self.clock())
+                    (trainer.learner_names[rank], "fault", now)
+                )
+                # the dying worker could not flush its own queue (os._exit),
+                # so the parent emits the crash + detection pair on its behalf
+                if rank in planned:
+                    _events.emit(
+                        _events.FAULT_INJECTED,
+                        source=trainer.learner_names[rank],
+                        t=now,
+                        fault="crash",
+                        step=planned[rank],
+                    )
+                _events.emit(
+                    _events.FAILURE_DETECTED,
+                    t=now,
+                    learner=rank,
+                    step=planned.get(rank),
+                    detection_seconds=latency,
+                    reason=f"worker learner{rank} exited without a farewell",
                 )
 
             monitor = WorkerMonitor(
@@ -971,6 +1083,12 @@ class MPBackend(Backend):
                     proc.join(timeout=_JOIN_GRACE)
             if self._ps is not None:
                 self._ps.shutdown()
+            if aggregator is not None:
+                # every producer is dead by now; the aggregator drains what
+                # is left and exits on its first empty poll
+                aggregator_stop.set()
+                aggregator.join(timeout=_JOIN_GRACE)
+                self._event_q = None
             self.collective.teardown()
             if self._liveness is not None:
                 self._liveness.close()
@@ -1010,14 +1128,24 @@ class MPBackend(Backend):
             if self._failure is not None:
                 lid, step = self._failure
                 at = f"after {step} local steps" if step >= 0 else "mid-run"
-                failure = LearnerFailure(
-                    lid,
-                    step if step >= 0 else None,
+                reason = (
                     f"learner{lid} died {at} (injected failure); surviving "
                     "workers deadlocked at the next collective and were "
-                    "reaped",
+                    "reaped"
                 )
+                failure = LearnerFailure(lid, step if step >= 0 else None, reason)
                 failure.detection_seconds = self._detections.get(lid)
+                if lid not in self._detections:
+                    # self-declared death (fail_at): the monitor never fired
+                    # _on_death, so the detection event is emitted here
+                    _events.emit(
+                        _events.FAILURE_DETECTED,
+                        t=self.clock(),
+                        learner=lid,
+                        step=step if step >= 0 else None,
+                        detection_seconds=None,
+                        reason=reason,
+                    )
                 raise failure
             exhausted = [
                 lid for lid in sorted(errors)
@@ -1025,11 +1153,20 @@ class MPBackend(Backend):
             ]
             if exhausted:
                 lid = exhausted[0]
-                raise RetryBudgetExhausted(
-                    lid,
-                    int(errors[lid].get("attempts", 0)),
+                reason = (
                     f"learner{lid} exhausted its parameter-server retry "
-                    f"budget ({errors[lid]['error']}); the run deadlocked",
+                    f"budget ({errors[lid]['error']}); the run deadlocked"
+                )
+                _events.emit(
+                    _events.FAILURE_DETECTED,
+                    t=self.clock(),
+                    learner=lid,
+                    step=None,
+                    detection_seconds=None,
+                    reason=reason,
+                )
+                raise RetryBudgetExhausted(
+                    lid, int(errors[lid].get("attempts", 0)), reason
                 )
             detail = "; ".join(
                 f"learner{lid}: {errors[lid]['error']}" for lid in sorted(errors)
@@ -1037,13 +1174,25 @@ class MPBackend(Backend):
             if missing:
                 sep = "; " if detail else ""
                 detail = f"{detail}{sep}no result from workers {missing}"
+            _events.emit(
+                _events.FAILURE_DETECTED,
+                t=self.clock(),
+                learner=None,
+                reason=f"mp backend run failed ({detail})",
+            )
             raise RuntimeError(f"mp backend run failed ({detail})")
         data0 = payloads[0]
         trainer.tape.records = data0["records"]
         trainer.tape.samples = data0["samples"]
+        trainer.tape.epoch = data0["epoch"]
         trainer.workloads[0].flat.set_data(data0["flat"])
         for lid in sorted(payloads):
             trainer._worker_import(lid, payloads[lid]["export"])
+        # every rank's own (unscaled) tape summary survives the fork, not
+        # just rank 0's — labeled per-rank attribution for obs and results
+        self._rank_tapes = [
+            dict(payloads[lid]["tape_rank"], rank=lid) for lid in sorted(payloads)
+        ]
 
         comm = [payloads[lid]["comm_seconds"] for lid in sorted(payloads)]
         walls = [payloads[lid]["wall_seconds"] for lid in sorted(payloads)]
@@ -1057,6 +1206,8 @@ class MPBackend(Backend):
             "compute_seconds_per_learner": max(0.0, mean_wall - mean_comm),
             "comm_fraction": (mean_comm / mean_wall) if mean_wall > 0 else 0.0,
             "workers": p,
+            "rank_tapes": self._rank_tapes,
+            "total_samples": int(sum(rt["samples"] for rt in self._rank_tapes)),
         }
         if self._retries_total:
             extras["ps_retries"] = self._retries_total
@@ -1091,6 +1242,16 @@ class MPBackend(Backend):
 
     def publish_obs(self, trainer, sess, wall: float) -> None:
         self.publish_fault_obs(trainer, sess)
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        for tape in self._rank_tapes:
+            sess.registry.counter(
+                "train.samples_total", rank=tape["rank"], **labels
+            ).inc(tape["samples"])
+            sess.registry.counter(
+                "train.batches_total", rank=tape["rank"], **labels
+            ).inc(tape["batches"])
         if trainer._obs is not None:
             trainer._obs.finish(trainer.tape.samples, self._duration, wall)
         spans = [

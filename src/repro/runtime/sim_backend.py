@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional
 from ..cluster.machine import Machine, power8_oss_spec
 from ..comm import collectives as _coll
 from ..comm.fabric import Endpoint, Fabric
+from ..obs import events as _events
 from ..ps.server import PSClient, ShardedParameterServer
 from ..sim import Delay
 from .api import (
@@ -150,10 +151,26 @@ class FaultySimPSClient(PSClientLike):
         delay = plan.ps_reply_delay(self.rank, ordinal)
         if delay > 0.0:
             backend._count_fault("delay")
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                t=backend.clock(),
+                fault="delay",
+                seconds=delay,
+                ordinal=ordinal,
+            )
             yield Delay(delay)
         drops = plan.ps_reply_drops(self.rank, ordinal)
         if drops:
             backend._count_fault("drop", drops)
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                t=backend.clock(),
+                fault="drop",
+                count=drops,
+                ordinal=ordinal,
+            )
             attempts = min(drops, retry.max_retries)
             backend._retries_total += attempts
             if retry.total_backoff(attempts) > 0.0:
@@ -235,6 +252,13 @@ class SimBackend(Backend):
         dur = device.compute_seconds(flops) * self.residency[lid] * scale
         if scale != 1.0:
             self._count_fault("straggle")
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{lid}",
+                t=self.clock(),
+                fault="straggle",
+                scale=scale,
+            )
         name = self._trainer.learner_names[lid]
         self.machine.tracer.begin(name, "compute")
         yield Delay(dur)
@@ -296,6 +320,13 @@ class SimBackend(Backend):
         self.machine.tracer.begin(name, "fault")
         self.machine.tracer.end(name, "fault")
         self._count_fault("crash")
+        _events.emit(
+            _events.FAULT_INJECTED,
+            source=name,
+            t=self.clock(),
+            fault="crash",
+            step=step,
+        )
         self.note_failure(lid, step)
         return True
 
@@ -324,23 +355,35 @@ class SimBackend(Backend):
             if not proc.finished:
                 if self._failure is not None:
                     lid, step = self._failure
-                    raise LearnerFailure(
-                        lid,
-                        step,
+                    reason = (
                         f"{proc.name} deadlocked: learner{lid} died after "
                         f"{step} local steps (injected failure) and its "
-                        "bulk-synchronous peers stalled at the next collective",
+                        "bulk-synchronous peers stalled at the next collective"
                     )
+                    _events.emit(
+                        _events.FAILURE_DETECTED,
+                        t=engine.now,
+                        learner=lid,
+                        step=step,
+                        reason=reason,
+                    )
+                    raise LearnerFailure(lid, step, reason)
                 crashed = self._crashed_shards()
                 if crashed:
-                    raise LearnerFailure(
-                        None,
-                        None,
+                    reason = (
                         f"{proc.name} deadlocked: parameter-server shard"
                         f"{'s' if len(crashed) > 1 else ''} "
                         f"{', '.join(map(str, crashed))} crashed (injected "
-                        "failure) and stayed down under the fail_fast policy",
+                        "failure) and stayed down under the fail_fast policy"
                     )
+                    _events.emit(
+                        _events.FAILURE_DETECTED,
+                        t=engine.now,
+                        learner=None,
+                        shards=crashed,
+                        reason=reason,
+                    )
+                    raise LearnerFailure(None, None, reason)
                 raise RuntimeError(
                     f"{proc.name} deadlocked: a bulk-synchronous peer died "
                     "mid-interval (injected failure?) or this is an algorithm bug"
