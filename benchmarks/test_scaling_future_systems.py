@@ -1,20 +1,34 @@
-"""Conclusion claim — SASGD on future systems with more GPUs.
+"""Conclusion claim — SASGD on future systems with more GPUs, to p=1024.
 
 Paper (Sec. V): "As the number of GPUs in future systems is likely to
 increase, we expect SASGD [to] perform better than ASGD implementations for
-machine learning applications."  Measured on a simulated 4-node (32-GPU)
-cluster: the centralised parameter server's epoch time degrades as learners
-spread across nodes (all traffic funnels through node 0's network link),
-while SASGD's ring allreduce stays several times faster.
+machine learning applications."  Three machine families, one per benchmark:
+
+* the original 4-node (32-GPU) Power8 cluster with a centralised PS,
+* a constant-bisection fat-tree with one GPU leaf per learner, and
+* a 2-D torus,
+
+the latter two swept to p=1024 learners with hierarchical allreduce vs a
+multi-host sharded parameter server.  Cells at p ≤ 32 run on the per-message
+fabric; the large-p cells use the vectorised wave fabric (``comm_mode`` auto
+selection), which is what makes a 1024-learner epoch simulable in under a
+second of wall time.
 """
 
 from conftest import rows_by
 
 
+def _curves(result):
+    sasgd = {row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="sasgd")}
+    downpour = {
+        row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="downpour")
+    }
+    return sasgd, downpour
+
+
 def test_scaling_future_systems(run_figure):
     result = run_figure("scaling", p_values=(8, 32), n_nodes=4, T=1)
-    sasgd = {row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="sasgd")}
-    downpour = {row["p"]: row["epoch_s"] for row in rows_by(result, algorithm="downpour")}
+    sasgd, downpour = _curves(result)
 
     # SASGD beats the parameter server at every scale on the cluster...
     for p in (8, 32):
@@ -22,3 +36,38 @@ def test_scaling_future_systems(run_figure):
 
     # ...and by a wide margin at 32 learners (the "future systems" point)
     assert downpour[32] > 2.0 * sasgd[32], (sasgd, downpour)
+
+
+def test_scaling_fat_tree_to_1024(run_figure):
+    result = run_figure(
+        "scaling", p_values=(8, 32, 128, 512, 1024), topology="fat-tree", T=1
+    )
+    sasgd, downpour = _curves(result)
+
+    # the p <= 32 cells ran per-message, the rest on the wave fabric
+    modes = {row["p"]: row["comm_mode"] for row in rows_by(result, algorithm="sasgd")}
+    assert modes[32] == "message" and modes[128] == "vector", modes
+
+    # SASGD wins every cell, and the margin widens with p
+    for p in (8, 32, 128, 512, 1024):
+        assert sasgd[p] < downpour[p], (p, sasgd, downpour)
+    assert downpour[1024] > 5.0 * sasgd[1024], (sasgd, downpour)
+
+    # SASGD epoch time stays flat as the machine grows (weak scaling: more
+    # learners -> fewer steps each, allreduce cost nearly constant)...
+    assert sasgd[1024] < 2.0 * sasgd[8], sasgd
+    # ...while the PS keeps degrading: every O(m p) byte still funnels into
+    # the root hosts no matter how fat the tree
+    assert downpour[1024] > downpour[8], downpour
+
+
+def test_scaling_torus_to_1024(run_figure):
+    result = run_figure("scaling", p_values=(128, 1024), topology="torus", T=1)
+    sasgd, downpour = _curves(result)
+
+    for p in (128, 1024):
+        assert sasgd[p] < downpour[p], (p, sasgd, downpour)
+    assert downpour[1024] > 5.0 * sasgd[1024], (sasgd, downpour)
+    # neighbour-only links: hierarchical allreduce rides the physical rings,
+    # so SASGD still holds a sub-second epoch at p=1024
+    assert sasgd[1024] < sasgd[128] * 2.0, sasgd

@@ -28,13 +28,16 @@ run EXP_ID [--set key=value ...] [--backend {sim,mp}] [--save out.json]
     histograms) as JSON; ``--profile`` prints a flame-style phase table.  A
     run manifest (config, seed, git rev, wall+virtual duration) is written
     next to every ``--save`` result, or wherever ``--manifest`` points.
-bench [--quick] [--out FILE] [--check BASELINE] [--threshold X]
+bench [--quick] [--out FILE] [--check BASELINE] [--threshold X] [--filter SUB]
     Time the substrate hot paths (conv2d forward/backward vs the legacy
     kernels, temporal conv, im2col/col2im, optimiser steps, one SASGD
-    interval, one small end-to-end experiment) and write a
+    interval, sim-engine event throughput and fabric message rate vs their
+    legacy counterparts, one small end-to-end experiment) and write a
     ``BENCH_<git-rev>.json`` baseline.  ``--check`` compares against a saved
     baseline and exits non-zero when any bench is more than ``--threshold``
-    (default 2.0) times slower.
+    (default 2.0) times slower or a derived speedup drops below its floor
+    (the batched engine must hold ≥ 5× the legacy engine).  ``--filter``
+    restricts the run to benchmarks whose name contains a substring.
 claims
     Print every experiment's paper claim — the checklist EXPERIMENTS.md
     verifies.
@@ -210,6 +213,7 @@ def _cmd_bench(args) -> int:
         quick=args.quick,
         include_experiment=not args.no_experiment,
         mp_timeout=args.timeout,
+        name_filter=args.filter,
     )
     print(format_bench(doc))
     out = Path(args.out) if args.out else default_bench_path(doc)
@@ -551,6 +555,13 @@ def main(argv=None) -> int:
         "--no-experiment",
         action="store_true",
         help="skip the end-to-end experiment bench (kernels only)",
+    )
+    bench_p.add_argument(
+        "--filter",
+        default=None,
+        metavar="SUBSTRING",
+        help="run only benchmarks whose name contains SUBSTRING "
+        "(e.g. 'engine' or 'fabric')",
     )
     bench_p.add_argument(
         "--timeout",

@@ -23,9 +23,22 @@ import numpy as np
 
 from ..sim import Engine, Tracer
 from .devices import Device, DeviceSpec
-from .topology import Topology, build_binary_tree_topology, build_multinode_topology
+from .topology import (
+    Topology,
+    build_binary_tree_topology,
+    build_fat_tree_topology,
+    build_multinode_topology,
+    build_torus_topology,
+)
 
-__all__ = ["MachineSpec", "Machine", "power8_oss_spec", "power8_cluster_spec"]
+__all__ = [
+    "MachineSpec",
+    "Machine",
+    "power8_oss_spec",
+    "power8_cluster_spec",
+    "fat_tree_spec",
+    "torus_spec",
+]
 
 
 @dataclass(frozen=True)
@@ -194,3 +207,104 @@ def power8_cluster_spec(
             name=hname, flops=host_flops, jitter=0.02, overhead=host_overhead, kind="cpu"
         )
     return MachineSpec(name=name, topology=topo, device_specs=devs, host="n0host")
+
+
+def _gpu_specs(
+    names: list, gpu_flops: float, gpu_jitter: float, gpu_overhead: float
+) -> Dict[str, DeviceSpec]:
+    return {
+        n: DeviceSpec(
+            name=n, flops=gpu_flops, jitter=gpu_jitter, overhead=gpu_overhead, kind="gpu"
+        )
+        for n in names
+    }
+
+
+def fat_tree_spec(
+    n_gpus: int,
+    gpu_flops: float = 2.0e12,
+    gpu_jitter: float = 0.05,
+    gpu_overhead: float = 1e-4,
+    host_flops: float = 1.5e11,
+    host_overhead: float = 5e-5,
+    leaf_bandwidth: float = 12e9,
+    leaf_latency: float = 2e-6,
+    fatness: float = 2.0,
+    max_bandwidth: float = 96e9,
+    n_hosts: int = 1,
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    name: str = "fat-tree",
+) -> MachineSpec:
+    """A scale-out fat-tree machine: ``n_gpus`` leaves, constant bisection.
+
+    The interconnect for the large-p half of the `scaling` experiment family:
+    link bandwidth doubles per level toward the root (capped), so allreduce
+    cost per rank stays nearly flat to p=1024 while ``n_hosts`` parameter-
+    server hosts at the root still see all O(m·p) PS bytes.
+    """
+    topo = build_fat_tree_topology(
+        n_leaves=n_gpus,
+        leaf_bandwidth=leaf_bandwidth,
+        leaf_latency=leaf_latency,
+        fatness=fatness,
+        max_bandwidth=max_bandwidth,
+        n_hosts=n_hosts,
+        host_bandwidth=host_bandwidth,
+        host_latency=host_latency,
+        name=f"{name}-topo",
+    )
+    devs = _gpu_specs(
+        [f"gpu{i}" for i in range(n_gpus)], gpu_flops, gpu_jitter, gpu_overhead
+    )
+    hosts = [f"host{h}" for h in range(n_hosts)] if n_hosts > 1 else ["host"]
+    for hname in hosts:
+        devs[hname] = DeviceSpec(
+            name=hname, flops=host_flops, jitter=0.02, overhead=host_overhead, kind="cpu"
+        )
+    return MachineSpec(name=name, topology=topo, device_specs=devs, host=hosts[0])
+
+
+def torus_spec(
+    rows: int,
+    cols: int,
+    gpu_flops: float = 2.0e12,
+    gpu_jitter: float = 0.05,
+    gpu_overhead: float = 1e-4,
+    host_flops: float = 1.5e11,
+    host_overhead: float = 5e-5,
+    link_bandwidth: float = 12e9,
+    link_latency: float = 2e-6,
+    n_hosts: int = 1,
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    name: str = "torus",
+) -> MachineSpec:
+    """A ``rows``×``cols`` 2-D torus machine, one GPU per torus node.
+
+    The other large-p interconnect of the `scaling` family: neighbour links
+    only, so ring allreduce maps onto physical links while PS traffic
+    converges on the ``n_hosts`` host attachment points.
+    """
+    topo = build_torus_topology(
+        rows=rows,
+        cols=cols,
+        link_bandwidth=link_bandwidth,
+        link_latency=link_latency,
+        n_hosts=n_hosts,
+        host_bandwidth=host_bandwidth,
+        host_latency=host_latency,
+        name=f"{name}-topo",
+    )
+    devs = _gpu_specs(
+        [f"t{r}_{c}" for r in range(rows) for c in range(cols)],
+        gpu_flops,
+        gpu_jitter,
+        gpu_overhead,
+    )
+    hosts = [f"host{h}" for h in range(n_hosts)] if n_hosts > 1 else ["host"]
+    for hname in hosts:
+        devs[hname] = DeviceSpec(
+            name=hname, flops=host_flops, jitter=0.02, overhead=host_overhead, kind="cpu"
+        )
+    return MachineSpec(name=name, topology=topo, device_specs=devs, host=hosts[0])

@@ -25,7 +25,14 @@ from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 
-__all__ = ["LinkSpec", "Topology", "build_binary_tree_topology", "build_multinode_topology"]
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "build_binary_tree_topology",
+    "build_multinode_topology",
+    "build_fat_tree_topology",
+    "build_torus_topology",
+]
 
 
 @dataclass(frozen=True)
@@ -166,6 +173,113 @@ def build_multinode_topology(
             links.append(
                 LinkSpec(f"n{j}host", "net", network_bandwidth, network_latency)
             )
+    return Topology(name, all_nodes, links)
+
+
+def build_fat_tree_topology(
+    n_leaves: int,
+    leaf_prefix: str = "gpu",
+    leaf_bandwidth: float = 12e9,
+    leaf_latency: float = 2e-6,
+    fatness: float = 2.0,
+    max_bandwidth: float = float("inf"),
+    n_hosts: int = 1,
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    name: str = "fat-tree",
+) -> Topology:
+    """A Leiserson-style fat tree over ``n_leaves`` devices.
+
+    Like :func:`build_binary_tree_topology`, leaves pair up under switches
+    level by level — but link bandwidth *grows* by ``fatness``× per level
+    toward the root (capped at ``max_bandwidth``), so the bisection does not
+    thin out as the machine grows.  This is the canonical scale-out
+    interconnect for the conclusion's "future systems with more GPUs":
+    ring/tree allreduce traffic keeps its per-rank cost roughly flat all the
+    way to p=1024 while a central parameter server still funnels O(m·p)
+    through the root.  ``n_hosts`` host nodes (PS shard placements) hang off
+    the root switch through ``host_bandwidth`` links.
+    """
+    if n_leaves < 2 or (n_leaves & (n_leaves - 1)) != 0:
+        raise ValueError(f"n_leaves must be a power of two >= 2, got {n_leaves}")
+    if fatness < 1.0:
+        raise ValueError(f"fatness must be >= 1, got {fatness}")
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    nodes = [f"{leaf_prefix}{i}" for i in range(n_leaves)]
+    all_nodes = list(nodes)
+    links: list[LinkSpec] = []
+    level_nodes = list(nodes)
+    level = 0
+    bandwidth = leaf_bandwidth
+    while len(level_nodes) > 1:
+        next_level = []
+        for i in range(0, len(level_nodes), 2):
+            sw = f"fsw{level}_{i // 2}"
+            all_nodes.append(sw)
+            links.append(LinkSpec(level_nodes[i], sw, bandwidth, leaf_latency))
+            links.append(LinkSpec(level_nodes[i + 1], sw, bandwidth, leaf_latency))
+            next_level.append(sw)
+        level_nodes = next_level
+        level += 1
+        bandwidth = min(bandwidth * fatness, max_bandwidth)
+    root = level_nodes[0]
+    for h in range(n_hosts):
+        host = f"host{h}" if n_hosts > 1 else "host"
+        all_nodes.append(host)
+        links.append(LinkSpec(root, host, host_bandwidth, host_latency))
+    return Topology(name, all_nodes, links)
+
+
+def build_torus_topology(
+    rows: int,
+    cols: int,
+    node_prefix: str = "t",
+    link_bandwidth: float = 12e9,
+    link_latency: float = 2e-6,
+    n_hosts: int = 1,
+    host_bandwidth: float = 6e9,
+    host_latency: float = 5e-6,
+    name: str = "torus",
+) -> Topology:
+    """A 2-D torus of ``rows`` × ``cols`` device nodes (``t{r}_{c}``).
+
+    Each node links to its four wrap-around neighbours, the layout of the
+    Blue-Gene-class machines the paper's conclusion alludes to: constant
+    per-node degree, bisection that grows with the smaller dimension, and no
+    single funnel point — a ring allreduce maps onto a snaking Hamiltonian
+    path with every hop a physical link.  ``n_hosts`` host nodes attach at
+    evenly-spaced torus positions (flattened row-major order) through
+    ``host_bandwidth`` links; a centralised or sharded parameter server lives
+    there, so its O(m·p) traffic still converges onto a handful of links
+    while allreduce traffic stays neighbour-to-neighbour.
+    """
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError(f"torus needs >= 2 nodes, got {rows}x{cols}")
+    if n_hosts < 1:
+        raise ValueError(f"n_hosts must be >= 1, got {n_hosts}")
+    nodes = [f"{node_prefix}{r}_{c}" for r in range(rows) for c in range(cols)]
+    links: list[LinkSpec] = []
+    seen: set = set()
+
+    def add(u: str, v: str) -> None:
+        key = (u, v) if u <= v else (v, u)
+        if u != v and key not in seen:
+            seen.add(key)
+            links.append(LinkSpec(u, v, link_bandwidth, link_latency))
+
+    for r in range(rows):
+        for c in range(cols):
+            here = f"{node_prefix}{r}_{c}"
+            add(here, f"{node_prefix}{r}_{(c + 1) % cols}")
+            add(here, f"{node_prefix}{(r + 1) % rows}_{c}")
+    all_nodes = list(nodes)
+    stride = max(1, (rows * cols) // n_hosts)
+    for h in range(n_hosts):
+        host = f"host{h}" if n_hosts > 1 else "host"
+        all_nodes.append(host)
+        anchor = nodes[(h * stride) % (rows * cols)]
+        links.append(LinkSpec(anchor, host, host_bandwidth, host_latency))
     return Topology(name, all_nodes, links)
 
 

@@ -4,10 +4,12 @@ from .collectives import (
     ALLREDUCE_ALGORITHMS,
     allgather_ring,
     allreduce,
+    allreduce_hierarchical,
     allreduce_recursive_doubling,
     allreduce_ring,
     allreduce_tree,
     broadcast,
+    contiguous_groups,
     reduce,
     reduce_scatter_ring,
 )
@@ -22,15 +24,19 @@ from .costmodel import (
     sasgd_epoch_comm_seconds,
 )
 from .fabric import Endpoint, Fabric, Message
+from .fastfabric import FastFabric, WavePlan
 
 __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "Endpoint",
     "Fabric",
+    "FastFabric",
     "LinkParams",
     "Message",
+    "WavePlan",
     "allgather_ring",
     "allreduce",
+    "allreduce_hierarchical",
     "allreduce_recursive_doubling",
     "allreduce_ring",
     "allreduce_seconds",
@@ -38,6 +44,7 @@ __all__ = [
     "allreduce_tree",
     "broadcast",
     "broadcast_seconds",
+    "contiguous_groups",
     "ps_epoch_seconds",
     "ps_roundtrip_seconds",
     "ps_traffic_bytes",

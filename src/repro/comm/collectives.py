@@ -47,7 +47,9 @@ __all__ = [
     "allreduce_recursive_doubling",
     "reduce_scatter_ring",
     "allreduce_tree",
+    "allreduce_hierarchical",
     "allreduce",
+    "contiguous_groups",
     "ALLREDUCE_ALGORITHMS",
 ]
 
@@ -324,10 +326,66 @@ def allreduce_tree(
     return result
 
 
+def contiguous_groups(p: int, group_size: int) -> List[List[int]]:
+    """Partition ranks 0..p−1 into contiguous blocks of ``group_size``.
+
+    The default grouping for hierarchical allreduce: with the round-robin
+    placements used throughout (rank order follows device order), contiguous
+    rank blocks sit on adjacent leaves/rows of the fat-tree and torus
+    machines, so intra-group traffic stays on nearby links.
+    """
+    if group_size < 1:
+        raise ValueError(f"group_size must be >= 1, got {group_size}")
+    return [list(range(lo, min(lo + group_size, p))) for lo in range(0, p, group_size)]
+
+
+def allreduce_hierarchical(
+    ep: Endpoint,
+    members: Sequence[str],
+    rank: int,
+    array: Optional[np.ndarray],
+    nbytes: float = 0.0,
+    ctx: Any = 0,
+    groups: Optional[Sequence[Sequence[int]]] = None,
+) -> Generator:
+    """Two-level allreduce: intra-group tree reduce → leader ring → broadcast.
+
+    ``groups`` partitions the ranks; the first rank of each group is its
+    leader.  Intra-group phases run concurrently across groups (they touch
+    disjoint ranks), the leaders run a bandwidth-optimal ring over the full
+    payload, and each leader then broadcasts the result back down its group.
+    This is the scalable schedule for machines whose interconnect is itself
+    hierarchical (multi-node clusters, fat-trees, tori): total traffic is
+    O(m) per rank intra-group plus O(m) per *leader* across the top level.
+    """
+    p = _check(members, rank)
+    if groups is None:
+        groups = contiguous_groups(p, 8)
+    seen = sorted(r for group in groups for r in group)
+    if seen != list(range(p)):
+        raise ValueError(f"groups must partition ranks 0..{p - 1}")
+    if array is not None and nbytes == 0.0:
+        nbytes = float(array.nbytes)
+    my_group = next(g for g in groups if rank in g)
+    gpos = list(my_group).index(rank)
+    sub = [members[r] for r in my_group]
+    partial = yield from reduce(ep, sub, gpos, array, 0, nbytes, ("hr", ctx))
+    if gpos == 0:
+        leaders = [g[0] for g in groups]
+        lrank = leaders.index(rank)
+        lmembers = [members[r] for r in leaders]
+        partial = yield from allreduce_ring(
+            ep, lmembers, lrank, partial, nbytes, ("hl", ctx)
+        )
+    result = yield from broadcast(ep, sub, gpos, partial, 0, nbytes, ("hb", ctx))
+    return result
+
+
 ALLREDUCE_ALGORITHMS = {
     "ring": allreduce_ring,
     "recursive_doubling": allreduce_recursive_doubling,
     "tree": allreduce_tree,
+    "hierarchical": allreduce_hierarchical,
 }
 
 
@@ -339,8 +397,12 @@ def allreduce(
     nbytes: float = 0.0,
     ctx: Any = 0,
     algorithm: str = "recursive_doubling",
+    groups: Optional[Sequence[Sequence[int]]] = None,
 ) -> Generator:
-    """Dispatch to a named allreduce algorithm (see ALLREDUCE_ALGORITHMS)."""
+    """Dispatch to a named allreduce algorithm (see ALLREDUCE_ALGORITHMS).
+
+    ``groups`` is only meaningful for ``algorithm="hierarchical"``.
+    """
     try:
         fn = ALLREDUCE_ALGORITHMS[algorithm]
     except KeyError:
@@ -350,5 +412,10 @@ def allreduce(
         ) from None
     if algorithm == "recursive_doubling" and not _is_pow2(len(members)):
         fn = ALLREDUCE_ALGORITHMS["ring"]
+    if algorithm == "hierarchical":
+        result = yield from allreduce_hierarchical(
+            ep, members, rank, array, nbytes, ctx, groups=groups
+        )
+        return result
     result = yield from fn(ep, members, rank, array, nbytes, ctx)
     return result

@@ -48,7 +48,7 @@ from ..sim import Delay, Engine, Resource, Store, Tracer
 __all__ = ["Message", "Endpoint", "Fabric"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """One delivered message (payload may be None in timing-only mode)."""
 

@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "BENCH_SCHEMA",
+    "DERIVED_FLOORS",
     "run_benchmarks",
     "save_bench",
     "load_bench",
@@ -260,6 +261,106 @@ def _bench_mp_interval(
     }
 
 
+def _bench_engine(reps: int) -> Dict[str, Dict[str, object]]:
+    """Event throughput of the batched calendar vs the verbatim legacy engine.
+
+    The workload is the large-p hot path: ``procs`` lockstep processes each
+    yielding ``rounds`` constant delays, so every timestamp resumes the whole
+    cohort — one bucket drain per wave on the batched engine, one heap
+    pop/push per process on the legacy one.
+    """
+    from ..sim.engine import Delay, Engine
+    from ..sim.reference import LegacyDelay, LegacyEngine
+
+    procs, rounds = 512, 25
+    events = procs * (rounds + 1)  # +1 for each spawn's initial resume
+
+    def batched() -> None:
+        eng = Engine()
+
+        def proc():
+            for _ in range(rounds):
+                yield Delay(1.0)
+
+        for _ in range(procs):
+            eng.spawn(proc())
+        eng.run()
+
+    def legacy() -> None:
+        eng = LegacyEngine()
+
+        def proc():
+            for _ in range(rounds):
+                yield LegacyDelay(1.0)
+
+        for _ in range(procs):
+            eng.spawn(proc())
+        eng.run()
+
+    new_s, new_r = _time(batched, reps)
+    old_s, old_r = _time(legacy, reps)
+    extra = {"processes": procs, "rounds": rounds, "events": events}
+    return {
+        "engine_event_throughput": _entry(
+            new_s, new_r, events_per_sec=round(events / new_s), **extra
+        ),
+        "engine_event_throughput_legacy": _entry(
+            old_s, old_r, events_per_sec=round(events / old_s), **extra
+        ),
+    }
+
+
+def _bench_fabric(reps: int) -> Dict[str, Dict[str, object]]:
+    """Message rate of per-message transfers vs one vectorised wave.
+
+    The same parameter-server star wave — every leaf GPU sending to the host
+    under contention — costed both ways: individually simulated transfers
+    (engine events, link resources) vs a :class:`FastFabric` wave (NumPy
+    array arithmetic, identical counters).
+    """
+    from ..cluster.topology import build_binary_tree_topology
+    from ..comm.fabric import Fabric
+    from ..comm.fastfabric import FastFabric
+    from ..sim.engine import Engine
+
+    n_leaves, repeats = 64, 4
+    topo = build_binary_tree_topology(n_leaves=n_leaves)
+    gpus = [f"gpu{i}" for i in range(n_leaves)]
+    messages = n_leaves * repeats
+
+    def per_message() -> None:
+        eng = Engine()
+        fab = Fabric(eng, topo, contention=True)
+        for i, node in enumerate(gpus):
+            fab.attach(f"l{i}", node)
+        fab.attach("srv", "host")
+        for r in range(repeats):
+            for i in range(n_leaves):
+                eng.spawn(fab.lookup(f"l{i}").send("srv", ("t", r, i), None, nbytes=1e6))
+            eng.run()
+
+    pairs = [(node, "host") for node in gpus]
+    eng_v = Engine()
+    fast = FastFabric(Fabric(eng_v, topo, contention=True))
+    fast.plan(pairs)  # steady state: route planning amortises across waves
+
+    def vectorised() -> None:
+        for _ in range(repeats):
+            fast.wave_span(pairs, 1e6)
+
+    msg_s, msg_r = _time(per_message, reps)
+    vec_s, vec_r = _time(vectorised, reps)
+    extra = {"messages": messages, "n_leaves": n_leaves}
+    return {
+        "fabric_message_rate": _entry(
+            msg_s, msg_r, messages_per_sec=round(messages / msg_s), **extra
+        ),
+        "fabric_wave_rate": _entry(
+            vec_s, vec_r, messages_per_sec=round(messages / vec_s), **extra
+        ),
+    }
+
+
 def _bench_experiment() -> Dict[str, Dict[str, object]]:
     """End-to-end wall time for one small figure experiment (unit scale)."""
     from .experiments import run_experiment
@@ -284,20 +385,43 @@ def run_benchmarks(
     quick: bool = False,
     include_experiment: bool = True,
     mp_timeout: float = 60.0,
+    name_filter: Optional[str] = None,
 ) -> Dict[str, object]:
-    """Run the full suite; returns the BENCH document (a plain dict)."""
+    """Run the full suite; returns the BENCH document (a plain dict).
+
+    ``name_filter`` (a substring) restricts the suite to matching benchmark
+    names — groups with no matching entry are skipped entirely, so
+    ``repro bench --filter engine`` times only the simulation engine.
+    """
     from ..obs.manifest import git_revision
 
     reps = 5 if quick else 20
     benches: Dict[str, Dict[str, object]] = {}
-    benches.update(_bench_conv2d(reps))
-    benches.update(_bench_im2col(reps))
-    benches.update(_bench_temporal(reps))
-    benches.update(_bench_sgd(reps))
-    benches.update(_bench_sasgd_interval(max(3, reps // 2)))
+
+    def want(*names: str) -> bool:
+        return name_filter is None or any(name_filter in n for n in names)
+
+    if want("conv2d_forward", "conv2d_forward_backward", "conv2d_forward_backward_legacy"):
+        benches.update(_bench_conv2d(reps))
+    if want("im2col_plan", "col2im_plan"):
+        benches.update(_bench_im2col(reps))
+    if want("temporal_conv_forward_backward", "temporal_conv_forward_backward_legacy"):
+        benches.update(_bench_temporal(reps))
+    if want("sgd_step", "momentum_sgd_step"):
+        benches.update(_bench_sgd(reps))
+    if want("sasgd_interval"):
+        benches.update(_bench_sasgd_interval(max(3, reps // 2)))
+    if want("engine_event_throughput", "engine_event_throughput_legacy"):
+        benches.update(_bench_engine(max(3, reps // 2)))
+    if want("fabric_message_rate", "fabric_wave_rate"):
+        benches.update(_bench_fabric(max(3, reps // 2)))
     if include_experiment:
-        benches.update(_bench_mp_interval(2 if quick else 3, timeout=mp_timeout))
-        benches.update(_bench_experiment())
+        if want("sasgd_interval_mp_backend"):
+            benches.update(_bench_mp_interval(2 if quick else 3, timeout=mp_timeout))
+        if want("experiment_fig2_unit"):
+            benches.update(_bench_experiment())
+    if name_filter is not None:
+        benches = {k: v for k, v in benches.items() if name_filter in k}
 
     derived: Dict[str, float] = {}
 
@@ -315,6 +439,12 @@ def run_benchmarks(
     )
     if r is not None:
         derived["temporal_speedup_vs_legacy"] = round(r, 3)
+    r = ratio("engine_event_throughput_legacy", "engine_event_throughput")
+    if r is not None:
+        derived["engine_speedup_vs_legacy"] = round(r, 3)
+    r = ratio("fabric_message_rate", "fabric_wave_rate")
+    if r is not None:
+        derived["fabric_wave_speedup_vs_message"] = round(r, 3)
 
     return {
         "schema": BENCH_SCHEMA,
@@ -349,16 +479,29 @@ def load_bench(path: Union[str, Path]) -> Dict[str, object]:
     return doc
 
 
+#: Minimum derived speedups a BENCH document must hold.  These are the
+#: "honest vs the code this PR replaced" gates: the batched engine must stay
+#: ≥ 5× the verbatim legacy engine on the lockstep event storm.  Checked
+#: only when the document actually contains the derived entry, so filtered
+#: or historical documents pass untouched.
+DERIVED_FLOORS: Dict[str, float] = {
+    "engine_speedup_vs_legacy": 5.0,
+}
+
+
 def compare_to_baseline(
     current: Dict[str, object],
     baseline: Dict[str, object],
     threshold: float = 2.0,
+    derived_floors: Optional[Dict[str, float]] = None,
 ) -> Tuple[bool, List[str]]:
     """Flag benches where current is more than ``threshold``× the baseline.
 
     Only benchmarks present in both documents are compared; the end-to-end
-    experiment bench is included like any other.  Returns ``(ok, messages)``
-    where messages describe every comparison (regressions prefixed FAIL).
+    experiment bench is included like any other.  Derived speedups in the
+    *current* document are additionally held to ``derived_floors`` (default
+    :data:`DERIVED_FLOORS`).  Returns ``(ok, messages)`` where messages
+    describe every comparison (regressions prefixed FAIL).
     """
     if threshold <= 1.0:
         raise ValueError(f"threshold must be > 1.0, got {threshold}")
@@ -384,6 +527,17 @@ def compare_to_baseline(
     if not messages:
         ok = False
         messages.append("FAIL no common benchmarks between current and baseline")
+    floors = DERIVED_FLOORS if derived_floors is None else derived_floors
+    derived = current.get("derived", {}) or {}
+    for name, floor in sorted(floors.items()):
+        if name not in derived:
+            continue
+        value = float(derived[name])
+        if value < floor:
+            ok = False
+            messages.append(f"FAIL {name}: {value:.2f}x < required {floor:.2f}x")
+        else:
+            messages.append(f"ok   {name}: {value:.2f}x >= {floor:.2f}x")
     return ok, messages
 
 

@@ -48,7 +48,13 @@ from ..theory import (
     sasgd_optimal_bound,
     theorem1_gap_approx,
 )
-from ..cluster.machine import Machine, power8_cluster_spec
+from ..cluster.machine import (
+    Machine,
+    fat_tree_spec,
+    power8_cluster_spec,
+    torus_spec,
+)
+from ..comm.collectives import contiguous_groups
 from .calibration import PAPER_PROFILE
 from .timing import TimingWorkload, simulate_epoch_time
 
@@ -635,49 +641,124 @@ def traffic(p_values: Sequence[int] = (2, 4, 8, 16)) -> ExperimentResult:
     return ExperimentResult("", "", "", rows=rows, notes=f"m = {m/2**20:.1f} MiB (CIFAR-10 model)")
 
 
+def _scaling_machine(topology: str, p: int, n_nodes: int, n_hosts: int) -> Machine:
+    """The simulated machine for one scaling cell (fresh engine per cell)."""
+    prof = PAPER_PROFILE
+    if topology == "cluster":
+        return Machine(
+            power8_cluster_spec(
+                n_nodes=n_nodes,
+                gpu_flops=prof.gpu_flops,
+                gpu_jitter=prof.gpu_jitter,
+                gpu_overhead=prof.step_overhead,
+                host_flops=prof.host_flops,
+                host_overhead=prof.ps_request_overhead,
+                tree_bandwidth=prof.tree_bandwidth,
+                tree_latency=prof.tree_latency,
+                host_bandwidth=prof.host_bandwidth,
+                host_latency=prof.host_latency,
+            ),
+            seed=0,
+        )
+    if topology == "fat-tree":
+        return Machine(
+            fat_tree_spec(
+                n_gpus=p,
+                gpu_flops=prof.gpu_flops,
+                gpu_jitter=prof.gpu_jitter,
+                gpu_overhead=prof.step_overhead,
+                host_flops=prof.host_flops,
+                host_overhead=prof.ps_request_overhead,
+                leaf_bandwidth=prof.tree_bandwidth,
+                leaf_latency=prof.tree_latency,
+                n_hosts=n_hosts,
+                host_bandwidth=prof.host_bandwidth,
+                host_latency=prof.host_latency,
+            ),
+            seed=0,
+        )
+    if topology == "torus":
+        rows = 1 << (max(p.bit_length() - 1, 0) // 2)
+        cols = p // rows
+        if rows * cols != p:
+            raise ValueError(f"torus scaling cell needs power-of-two p, got {p}")
+        return Machine(
+            torus_spec(
+                rows=rows,
+                cols=cols,
+                gpu_flops=prof.gpu_flops,
+                gpu_jitter=prof.gpu_jitter,
+                gpu_overhead=prof.step_overhead,
+                host_flops=prof.host_flops,
+                host_overhead=prof.ps_request_overhead,
+                link_bandwidth=prof.tree_bandwidth,
+                link_latency=prof.tree_latency,
+                n_hosts=n_hosts,
+                host_bandwidth=prof.host_bandwidth,
+                host_latency=prof.host_latency,
+            ),
+            seed=0,
+        )
+    raise ValueError(f"unknown scaling topology {topology!r}")
+
+
 @experiment(
     "scaling",
-    "SASGD vs parameter server on future multi-GPU clusters (conclusion claim)",
+    "SASGD vs parameter server as future systems grow to p=1024 (conclusion claim)",
     "\"As the number of GPUs in future systems is likely to increase, we expect "
-    "SASGD [to] perform better than ASGD implementations\": on a multi-node "
-    "machine the PS epoch time stops improving with p while SASGD keeps scaling",
+    "SASGD [to] perform better than ASGD implementations\": on multi-node, "
+    "fat-tree and torus machines the PS epoch time stops improving with p "
+    "while SASGD keeps scaling through p=1024",
 )
 def scaling(
     p_values: Sequence[int] = (8, 16, 32),
     n_nodes: int = 4,
     T: int = 1,
     epochs: int = 1,
+    topology: str = "cluster",
+    comm_mode: Optional[str] = None,
+    group_size: int = 8,
+    n_hosts: int = 4,
+    n_shards: int = 8,
 ) -> ExperimentResult:
-    """Timing-only NLC-F at paper scale on a ``n_nodes``-node cluster.
+    """Timing-only NLC-F epoch-time curves, SASGD vs Downpour, at scale.
 
-    The centralised parameter server lives on node 0, so every other node's
-    push/pull crosses the 1.2 GB/s cluster network *twice* and funnels into
-    node 0's single network link; SASGD's bandwidth-optimal ring allreduce
-    sends each rank only ~2m bytes, most of it over intra-node PCIe.  T=1 and
-    the M=1 workload keep communication on the critical path (at T=50
-    everything amortises, as in Fig. 6).
+    ``topology`` picks the machine family:
+
+    * ``"cluster"`` (default) — the original conclusion cell: ``n_nodes``
+      Power8/OSS nodes, centralised PS on node 0, ring allreduce.  Learners
+      share GPUs once p exceeds the GPU count, as in the paper's MPS setup.
+    * ``"fat-tree"`` — one GPU leaf per learner under a constant-bisection
+      fat-tree, ``n_hosts`` PS hosts at the root, hierarchical allreduce
+      (``group_size`` leaves per group) and an ``n_shards``-shard PS.
+    * ``"torus"`` — one GPU per node of a 2-D torus, hosts anchored around
+      the ring, same hierarchy/sharding.
+
+    ``comm_mode=None`` picks per-cell: the per-message fabric up to p=32
+    (reference fidelity) and the vectorised wave fabric beyond, which is what
+    makes the p=128–1024 cells tractable (see DESIGN §11).
     """
-    prof = PAPER_PROFILE
     _, _, ninfo = build_nlcf_net()
     wl = TimingWorkload.from_model_info(ninfo, n_train=2_500)
     rows = []
     for p in p_values:
-        for algo in ("sasgd", "downpour"):
-            machine = Machine(
-                power8_cluster_spec(
-                    n_nodes=n_nodes,
-                    gpu_flops=prof.gpu_flops,
-                    gpu_jitter=prof.gpu_jitter,
-                    gpu_overhead=prof.step_overhead,
-                    host_flops=prof.host_flops,
-                    host_overhead=prof.ps_request_overhead,
-                    tree_bandwidth=prof.tree_bandwidth,
-                    tree_latency=prof.tree_latency,
-                    host_bandwidth=prof.host_bandwidth,
-                    host_latency=prof.host_latency,
+        cell_mode = comm_mode or ("message" if p <= 32 else "vector")
+        if topology == "cluster":
+            algo_kwargs: Dict[str, dict] = {
+                "sasgd": dict(allreduce_algorithm="ring"),
+                "downpour": dict(),
+            }
+        else:
+            hosts = [f"host{h}" for h in range(n_hosts)] if n_hosts > 1 else ["host"]
+            algo_kwargs = {
+                "sasgd": dict(
+                    allreduce_algorithm="hierarchical",
+                    allreduce_groups=contiguous_groups(p, group_size),
                 ),
-                seed=0,
-            )
+                "downpour": dict(n_shards=n_shards, ps_hosts=hosts),
+            }
+        for algo in ("sasgd", "downpour"):
+            machine = _scaling_machine(topology, p, n_nodes, n_hosts)
             r = simulate_epoch_time(
                 algo,
                 wl,
@@ -685,18 +766,27 @@ def scaling(
                 T=T,
                 epochs=epochs,
                 machine=machine,
-                allreduce_algorithm="ring",
+                comm_mode=cell_mode,
+                **algo_kwargs[algo],
             )
             rows.append(
                 {
                     "p": p,
                     "algorithm": algo,
-                    "epoch_s": round(r.epoch_seconds, 2),
+                    "topology": topology,
+                    "comm_mode": cell_mode,
+                    "epoch_s": round(r.epoch_seconds, 4),
                     "comm_%": round(100 * r.comm_fraction, 1),
+                    "GB_per_epoch": round(r.total_bytes_per_epoch / 1e9, 3),
                 }
             )
+    label = {
+        "cluster": f"{n_nodes} nodes x 8 GPUs",
+        "fat-tree": f"fat-tree, {n_hosts} hosts, groups of {group_size}",
+        "torus": f"2-D torus, {n_hosts} hosts, groups of {group_size}",
+    }[topology]
     return ExperimentResult(
-        "", "", "", rows=rows, notes=f"{n_nodes} nodes x 8 GPUs, T={T}, NLC-F scale"
+        "", "", "", rows=rows, notes=f"{label}, T={T}, NLC-F scale"
     )
 
 

@@ -31,7 +31,7 @@ __all__ = ["MessageEvent", "TraceRun", "TraceExporter"]
 _US = 1e6  # trace-event timestamps are microseconds
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MessageEvent:
     """One fabric transfer, recorded when tracing is on."""
 

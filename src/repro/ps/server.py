@@ -88,6 +88,7 @@ class ShardedParameterServer:
         restart_shards: bool = False,
         restart_seconds: float = 0.5,
         snapshot_every: int = 25,
+        hosts: Optional[List[str]] = None,
     ) -> None:
         self.machine = machine
         self.fabric = fabric
@@ -109,9 +110,17 @@ class ShardedParameterServer:
         self.crashed_shards: set = set()      # shards currently down
         self.shard_restarts = 0
         self._snapshots: Dict[int, Tuple[Optional[np.ndarray], int]] = {}
-        if machine.host is None:
-            raise ValueError("machine has no host to run the parameter server on")
-        self.host_device = machine.devices[machine.host]
+        # ``hosts`` spreads shards round-robin over several host nodes (the
+        # multi-shard PS of the large-p scaling machines); default is the
+        # classic single-host layout.
+        if hosts is None:
+            if machine.host is None:
+                raise ValueError("machine has no host to run the parameter server on")
+            hosts = [machine.host]
+        self.hosts = list(hosts)
+        self.shard_hosts = [self.hosts[sid % len(self.hosts)] for sid in range(n_shards)]
+        self.shard_devices = [machine.devices[h] for h in self.shard_hosts]
+        self.host_device = self.shard_devices[0]
         self.x = np.zeros(size, dtype=self.dtype)
         self.versions = [0] * n_shards
         self.pushes_applied = 0
@@ -119,7 +128,7 @@ class ShardedParameterServer:
         self.endpoints: List[Endpoint] = []
         self._procs = []
         for sid in range(n_shards):
-            ep = fabric.attach(f"{self.name}{sid}", machine.host)
+            ep = fabric.attach(f"{self.name}{sid}", self.shard_hosts[sid])
             ep.listen_any(("req", self.name, sid))
             self.endpoints.append(ep)
             self._procs.append(
@@ -133,8 +142,10 @@ class ShardedParameterServer:
             raise ValueError(f"shape mismatch: {x0.shape} vs {self.x.shape}")
         self.x[...] = x0
 
-    def _apply_seconds(self, n_params: int) -> float:
-        return self.host_device.compute_seconds(self.apply_flops_per_param * n_params)
+    def _apply_seconds(self, sid: int, n_params: int) -> float:
+        return self.shard_devices[sid].compute_seconds(
+            self.apply_flops_per_param * n_params
+        )
 
     def _serve(self, sid: int) -> Generator:
         ep = self.endpoints[sid]
@@ -177,7 +188,7 @@ class ShardedParameterServer:
             # (1×), elastic does both plus computes e (1.5×)
             cost_scale = {"push": 1.0, "pull": 0.5, "elastic": 1.5}.get(kind, 1.0)
             tracer.begin(actor, "apply")
-            yield Delay(cost_scale * self._apply_seconds(hi - lo))
+            yield Delay(cost_scale * self._apply_seconds(sid, hi - lo))
             tracer.end(actor, "apply")
             if kind == "push":
                 # gradient-descent apply in strict arrival order
