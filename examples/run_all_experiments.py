@@ -11,8 +11,12 @@ Run:  python examples/run_all_experiments.py            # full bench grids (slow
       python examples/run_all_experiments.py --only fig6 fig9
       python examples/run_all_experiments.py --jobs 4 --cache-dir .exp-cache
 
-``--jobs N`` fans the independent grid points of *all* selected experiments
-out over one shared worker pool (rows are bit-identical to the serial run);
+Every run is declared as a :class:`repro.spec.ScenarioSpec` and compiled by
+:func:`repro.spec.compile_scenario` — the same path as ``repro run`` and
+``repro run --spec`` — so the grids here and the checked-in documents under
+``examples/specs/`` are the same thing in two notations.  ``--jobs N`` fans
+the independent grid points of *all* selected experiments out over one
+shared worker pool (rows are bit-identical to the serial run);
 ``--cache-dir`` memoises completed points so an interrupted regeneration
 resumes where it stopped.
 """
@@ -21,8 +25,9 @@ import argparse
 import sys
 import time
 
-from repro.harness import format_result, list_experiments, run_experiment
-from repro.harness.parallel import expand_grid, merge_results, run_grid
+from repro.harness import format_result
+from repro.harness.parallel import run_grid
+from repro.spec import ScenarioSpec, UnknownNameError, compile_scenario
 
 # Full bench-scale grids (EXPERIMENTS.md numbers).
 FULL = {
@@ -73,29 +78,37 @@ def main() -> None:
 
     grids = QUICK if args.quick else FULL
     targets = args.only if args.only else list(grids)
-    unknown = set(targets) - set(list_experiments())
-    if unknown:
-        sys.exit(f"unknown experiments: {sorted(unknown)}")
+
+    # compile each experiment's grid into a RunPlan (validates the ids)
+    plans = []
+    for exp_id in targets:
+        try:
+            spec = ScenarioSpec(
+                experiment=exp_id, params=grids.get(exp_id, {})
+            ).validate()
+        except (ValueError, UnknownNameError) as exc:
+            sys.exit(f"error: {exc}")
+        plans.append(compile_scenario(spec))
 
     t_start = time.time()
     if args.jobs == 1 and args.cache_dir is None:
-        for exp_id in targets:
+        for plan in plans:
             t0 = time.time()
-            result = run_experiment(exp_id, **grids.get(exp_id, {}))
+            result = plan.execute(jobs=1)
             print(format_result(result))
-            print(f"({exp_id} regenerated in {time.time()-t0:.0f}s wall)\n")
+            print(f"({plan.exp_id} regenerated in {time.time()-t0:.0f}s wall)\n")
             sys.stdout.flush()
     else:
-        # one shared pool across every experiment: expand each experiment's
-        # splittable axes into independent points, fan out, merge back
-        points, spans = [], []
-        for exp_id in targets:
-            subs = expand_grid(exp_id, grids.get(exp_id, {}))
-            spans.append((exp_id, len(points), len(points) + len(subs)))
-            points.extend((exp_id, sub) for sub in subs)
-        results = run_grid(points, jobs=args.jobs, cache_dir=args.cache_dir)
-        for exp_id, lo, hi in spans:
-            result = merge_results(exp_id, results[lo:hi])
+        # one shared pool across every experiment: concatenate each plan's
+        # pre-split points (and spec-derived cache keys), fan out, merge back
+        points, keys, spans = [], [], []
+        for plan in plans:
+            spans.append((plan, len(points), len(points) + len(plan.points)))
+            points.extend(plan.points)
+            keys.extend(plan.keys)
+        results = run_grid(points, jobs=args.jobs, cache_dir=args.cache_dir, keys=keys)
+        for plan, lo, hi in spans:
+            result = plan.merge(results[lo:hi])
             print(format_result(result))
             print()
             sys.stdout.flush()

@@ -2,13 +2,19 @@
 
 Commands
 --------
-list
-    Print the experiment registry (one id per paper table/figure).
-run EXP_ID [--set key=value ...] [--backend {sim,mp}] [--save out.json]
-        [--jobs N] [--cache-dir D] [--trace t.json] [--metrics m.json]
-        [--manifest mf.json] [--profile] [--fault SPEC] [--recovery POLICY]
-        [--checkpoint-dir D] [--resume] [--timeout S] [--events PATH|console]
-    Regenerate one experiment and print its report.  ``--set`` forwards
+list [REGISTRY]
+    Print the scenario registries — experiment families, trainers, problems,
+    machine families, recovery policies, backends — or just one of them.
+run [EXP_ID | --spec FILE] [--set key=value ...] [--backend {sim,mp}]
+        [--save out.json] [--jobs N] [--cache-dir D] [--trace t.json]
+        [--metrics m.json] [--manifest mf.json] [--profile] [--fault SPEC]
+        [--recovery POLICY] [--checkpoint-dir D] [--resume] [--timeout S]
+        [--events PATH|console]
+    Regenerate one experiment and print its report.  ``--spec`` runs a
+    declarative scenario document (YAML/JSON, see ``examples/specs/``)
+    instead of naming an experiment; either way the run compiles through
+    :func:`repro.spec.compile_scenario` and the other flags override the
+    scenario's fields.  ``--set`` forwards
     keyword arguments (ints/floats/tuples parsed from the value).
     ``--backend mp`` runs the trainers as real parallel worker processes
     (shared-memory collectives / PS shard processes) instead of the default
@@ -63,7 +69,7 @@ import sys
 import time
 from pathlib import Path
 
-from .harness import format_result, list_experiments, run_experiment
+from .harness import format_result, list_experiments
 from .harness.experiments import EXPERIMENTS
 
 
@@ -74,46 +80,88 @@ def _parse_value(text: str):
         return text
 
 
-def _build_fault_context(args, parser):
-    """FaultContext from --fault/--recovery/--checkpoint-dir/--resume
-    (None when no fault flag was given)."""
-    if not (args.fault or args.recovery or args.checkpoint_dir or args.resume):
-        return None
-    from .faults import FaultContext, FaultPlan, open_store
+def _spec_from_args(args, parser):
+    """The run's :class:`~repro.spec.ScenarioSpec`.
 
-    try:
-        plan = (
-            FaultPlan.parse(";".join(args.fault), seed=args.fault_seed)
-            if args.fault
-            else FaultPlan()
-        )
-        return FaultContext(
-            plan=plan,
-            recovery=args.recovery or "fail_fast",
-            store=open_store(args.checkpoint_dir) if args.checkpoint_dir else None,
-            resume=args.resume,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
+    ``--spec FILE`` loads a scenario document; every other flag is an
+    override layered on top of it.  Without ``--spec`` the legacy flag
+    surface (EXP_ID, --set, --backend, --fault, …) compiles to an
+    equivalent spec, so both roads converge on the one
+    :func:`~repro.spec.compile_scenario` path.
+    """
+    from .spec import ScenarioSpec, load_spec
+
+    overrides = {}
+    for item in args.overrides:
+        if "=" not in item:
+            parser.error(f"--set expects key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key.strip()] = _parse_value(value.strip())
+
+    backend_args = {}
+    if args.timeout is not None:
+        backend_args["timeout"] = args.timeout
+
+    if args.spec is not None:
+        if args.exp_id is not None:
+            parser.error(
+                "pass either an experiment id or --spec FILE, not both "
+                "(the spec names what to run)"
+            )
+        spec = load_spec(args.spec)
+        changes = {}
+        if overrides:
+            # --set patches the spec's parameter surface for its mode
+            if spec.mode == "experiment":
+                changes["params"] = {**spec.params, **overrides}
+            else:
+                changes["config"] = {**spec.config, **overrides}
+        if args.backend is not None:
+            changes["backend"] = args.backend
+        if backend_args:
+            changes["backend_args"] = {**spec.backend_args, **backend_args}
+        if args.fault:
+            changes["faults"] = list(args.fault)
+        if args.fault_seed:
+            changes["fault_seed"] = args.fault_seed
+        if args.recovery is not None:
+            changes["recovery"] = args.recovery
+        if args.checkpoint_dir is not None:
+            changes["checkpoint_dir"] = args.checkpoint_dir
+        if args.resume:
+            changes["resume"] = True
+        if args.events:
+            changes["events"] = tuple(spec.events) + tuple(args.events)
+        return spec.with_overrides(**changes) if changes else spec
+
+    if args.exp_id is None:
+        parser.error("pass an experiment id (see `repro list`) or --spec FILE")
+    return ScenarioSpec(
+        experiment=args.exp_id,
+        params=overrides,
+        backend=args.backend,
+        backend_args=backend_args,
+        faults=list(args.fault) or None,
+        fault_seed=args.fault_seed,
+        recovery=args.recovery,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+        events=tuple(args.events),
+    ).validate()
 
 
 def _cmd_run(args, parser) -> int:
     import contextlib
 
     from . import obs
+    from .spec import SpecError, UnknownNameError, compile_scenario
 
-    kwargs = {}
-    for item in args.overrides:
-        if "=" not in item:
-            parser.error(f"--set expects key=value, got {item!r}")
-        key, _, value = item.partition("=")
-        kwargs[key.strip()] = _parse_value(value.strip())
-    if args.backend is not None:
-        kwargs["backend"] = args.backend
-    if args.timeout is not None:
-        kwargs["backend_timeout"] = args.timeout
-
-    fault_ctx = _build_fault_context(args, parser)
+    try:
+        spec = _spec_from_args(args, parser)
+        plan = compile_scenario(spec)
+    except (SpecError, UnknownNameError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     jobs = args.jobs
     if jobs != 1 and (args.trace or args.metrics or args.profile):
@@ -123,7 +171,7 @@ def _cmd_run(args, parser) -> int:
             file=sys.stderr,
         )
         jobs = 1
-    if jobs != 1 and fault_ctx is not None:
+    if jobs != 1 and plan.fault_ctx is not None:
         print(
             "note: fault injection/recovery state lives in the run process; "
             "falling back to --jobs 1",
@@ -133,40 +181,18 @@ def _cmd_run(args, parser) -> int:
 
     want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
     session = obs.ObsSession(trace=bool(args.trace or args.profile))
-    event_files = []
+    event_files = [ev for ev in spec.events if ev not in ("console", "-")]
     t0 = time.perf_counter()
     with contextlib.ExitStack() as stack:
-        if args.events:
-            sinks = []
-            for spec in args.events:
-                if spec in ("console", "-"):
-                    sinks.append(obs.ConsoleProgressSink())
-                else:
-                    sinks.append(obs.JsonlRecorderSink(spec))
-                    event_files.append(spec)
-            bus = obs.EventBus(sinks=sinks)
-            # unwind order: uninstall the bus first, close the sinks after
-            stack.callback(bus.close)
-            stack.enter_context(obs.use_events(bus))
-        if fault_ctx is not None:
-            from .faults import use_faults
-
-            stack.enter_context(use_faults(fault_ctx))
         if want_obs:
             stack.enter_context(obs.observe(session))
-        if jobs != 1 or args.cache_dir is not None:
-            from .harness.parallel import run_experiment_parallel
-
-            result = run_experiment_parallel(
-                args.exp_id, jobs=jobs, cache_dir=args.cache_dir, **kwargs
-            )
-        else:
-            result = run_experiment(args.exp_id, **kwargs)
+        # the plan installs the spec's event sinks and fault context itself
+        result = plan.execute(jobs=jobs, cache_dir=args.cache_dir)
     wall = time.perf_counter() - t0
 
     print(format_result(result))
-    for spec in event_files:
-        print(f"events recorded to {spec} (replay with `repro watch {spec}`)")
+    for ev in event_files:
+        print(f"events recorded to {ev} (replay with `repro watch {ev}`)")
     if args.save:
         from .harness.serialization import save_result
 
@@ -183,8 +209,8 @@ def _cmd_run(args, parser) -> int:
         manifest_path = obs.manifest_path_for(args.save)
     if manifest_path is not None:
         manifest = obs.RunManifest.collect(
-            exp_id=args.exp_id,
-            config=kwargs,
+            exp_id=plan.exp_id,
+            config=spec.canonical(),
             wall_seconds=wall,
             virtual_seconds=session.virtual_seconds,
         )
@@ -196,6 +222,35 @@ def _cmd_run(args, parser) -> int:
             prof.ingest_spans(run.spans)
         print()
         print(prof.format_flame())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    """Print the scenario registries (everything a spec can name)."""
+    from .spec import REGISTRIES, ensure_populated
+
+    ensure_populated()
+    wanted = args.registry
+    if wanted is not None and wanted not in REGISTRIES:
+        import difflib
+
+        close = difflib.get_close_matches(wanted, sorted(REGISTRIES), n=1, cutoff=0.4)
+        hint = f"; did you mean {close[0]!r}?" if close else ""
+        print(
+            f"error: unknown registry {wanted!r}{hint} "
+            f"(registries: {', '.join(sorted(REGISTRIES))})",
+            file=sys.stderr,
+        )
+        return 2
+    for reg_name, registry in REGISTRIES.items():
+        if wanted is not None and reg_name != wanted:
+            continue
+        print(f"{reg_name}:")
+        for name in registry.names():
+            meta = registry.meta(name)
+            blurb = meta.get("title") or meta.get("description") or ""
+            print(f"  {name:<22}{blurb}".rstrip())
+        print()
     return 0
 
 
@@ -427,11 +482,33 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiment ids")
+    list_p = sub.add_parser(
+        "list",
+        help="list the registries (experiments, trainers, problems, "
+        "machines, recovery policies, backends)",
+    )
+    list_p.add_argument(
+        "registry",
+        nargs="?",
+        default=None,
+        help="print just this registry (default: all)",
+    )
     sub.add_parser("claims", help="print every experiment's paper claim")
 
-    run_p = sub.add_parser("run", help="run one experiment")
-    run_p.add_argument("exp_id")
+    run_p = sub.add_parser("run", help="run one experiment or scenario spec")
+    run_p.add_argument(
+        "exp_id",
+        nargs="?",
+        default=None,
+        help="experiment id (see `repro list`); omit when using --spec",
+    )
+    run_p.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="run a declarative scenario document (.yml/.yaml/.json); other "
+        "flags override the document's fields",
+    )
     run_p.add_argument(
         "--set",
         dest="overrides",
@@ -442,7 +519,6 @@ def main(argv=None) -> int:
     )
     run_p.add_argument(
         "--backend",
-        choices=("sim", "mp"),
         default=None,
         help="execution backend: 'sim' (virtual time, the default) or 'mp' "
         "(real multiprocessing on host cores)",
@@ -493,7 +569,6 @@ def main(argv=None) -> int:
     )
     run_p.add_argument(
         "--recovery",
-        choices=("fail_fast", "elastic", "restart_shard"),
         default=None,
         help="what to do when something dies: fail_fast (default, raise a "
         "typed LearnerFailure), elastic (survivors restart from the last "
@@ -598,9 +673,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "list":
-        for exp_id in list_experiments():
-            print(exp_id)
-        return 0
+        return _cmd_list(args)
 
     if args.command == "claims":
         for exp_id in list_experiments():

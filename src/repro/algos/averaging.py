@@ -22,6 +22,7 @@ from typing import List
 import numpy as np
 
 from ..obs.runtime import TrainerObs
+from ..spec.registry import TRAINERS
 from .base import (
     LearnerWorkload,
     MetricsTape,
@@ -45,6 +46,10 @@ def _build_workloads(problem: Problem, config: TrainerConfig) -> List[LearnerWor
     ]
 
 
+@TRAINERS.register(
+    "oneshot_averaging",
+    description="p independent replicas, parameters averaged once at the end",
+)
 class OneShotAveragingTrainer:
     """Train p independent replicas; average parameters once at the end."""
 
@@ -103,6 +108,10 @@ class OneShotAveragingTrainer:
         )
 
 
+@TRAINERS.register(
+    "minibatch_averaging",
+    description="parameters averaged after every minibatch (= SASGD T=1, γp=γ/p)",
+)
 class MinibatchAveragingTrainer:
     """Average all replicas' parameters after every (parallel) minibatch.
 

@@ -24,6 +24,7 @@ from typing import Dict, Generator, Optional
 import numpy as np
 
 from ..obs import events as _events
+from ..spec.registry import TRAINERS
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -52,6 +53,11 @@ class DownpourOptions:
             raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
 
 
+@TRAINERS.register(
+    "downpour",
+    options=DownpourOptions,
+    description="asynchronous SGD through a sharded parameter server",
+)
 class DownpourTrainer(DistributedTrainer):
     """Asynchronous SGD through a sharded parameter server."""
 

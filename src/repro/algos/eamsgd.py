@@ -28,6 +28,7 @@ from typing import Dict, Generator, Optional
 import numpy as np
 
 from ..obs import events as _events
+from ..spec.registry import TRAINERS
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -60,6 +61,11 @@ class EAMSGDOptions:
             raise ValueError(f"momentum must be in [0, 1), got {self.momentum}")
 
 
+@TRAINERS.register(
+    "eamsgd",
+    options=EAMSGDOptions,
+    description="elastic-averaging momentum SGD against a sharded center variable",
+)
 class EAMSGDTrainer(DistributedTrainer):
     """Elastic-averaging momentum SGD against a sharded center variable."""
 

@@ -20,6 +20,7 @@ import numpy as np
 from ..data.synth_cifar import make_synthetic_cifar
 from ..data.synth_nlcf import make_synthetic_nlcf
 from ..nn.models import build_cifar10_cnn, build_nlcf_net
+from ..spec.registry import PROBLEMS
 from .base import Problem
 
 __all__ = ["cifar_problem", "nlcf_problem", "CIFAR_SCALES", "NLCF_SCALES"]
@@ -39,6 +40,9 @@ NLCF_SCALES = {
 }
 
 
+@PROBLEMS.register(
+    "cifar", description="Table I CNN on synthetic CIFAR-10-like data"
+)
 def cifar_problem(
     scale: str = "bench",
     seed: int = 0,
@@ -72,6 +76,9 @@ def cifar_problem(
     )
 
 
+@PROBLEMS.register(
+    "nlcf", description="Table II classifier on synthetic NLC-F-like sentences"
+)
 def nlcf_problem(
     scale: str = "bench",
     seed: int = 0,

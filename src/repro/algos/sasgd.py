@@ -19,6 +19,7 @@ import numpy as np
 
 from ..core.compression import make_compressor
 from ..core.sasgd import SASGDConfig, SASGDLocalState
+from ..spec.registry import TRAINERS
 from .base import Problem, TrainerConfig
 from .distributed import DistributedTrainer
 
@@ -72,6 +73,11 @@ class SASGDOptions:
             raise ValueError(f"k_frac must be in (0, 1], got {self.k_frac}")
 
 
+@TRAINERS.register(
+    "sasgd",
+    options=SASGDOptions,
+    description="bulk-synchronous sparse-aggregation SGD (the paper's algorithm)",
+)
 class SASGDTrainer(DistributedTrainer):
     """Bulk-synchronous sparse-aggregation SGD (the paper's contribution)."""
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from ..cluster.devices import Device, DeviceSpec
 from ..obs.runtime import TrainerObs
+from ..spec.registry import TRAINERS
 from .base import (
     LearnerWorkload,
     MetricsTape,
@@ -26,6 +27,9 @@ from .base import (
 __all__ = ["SequentialSGDTrainer"]
 
 
+@TRAINERS.register(
+    "sgd", description="sequential minibatch SGD, the p=1 baseline"
+)
 class SequentialSGDTrainer:
     """Vanilla minibatch SGD on one simulated GPU."""
 

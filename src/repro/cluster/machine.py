@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..sim import Engine, Tracer
+from ..spec.registry import MACHINES
 from .devices import Device, DeviceSpec
 from .topology import (
     Topology,
@@ -112,6 +113,9 @@ class Machine:
         return counts
 
 
+@MACHINES.register(
+    "power8_oss", description="single POWER8 node, GPUs on a binary host tree"
+)
 def power8_oss_spec(
     n_gpus: int = 8,
     gpu_flops: float = 2.0e12,
@@ -156,6 +160,9 @@ def power8_oss_spec(
     return MachineSpec(name=name, topology=topo, device_specs=devs, host="host")
 
 
+@MACHINES.register(
+    "power8_cluster", description="multi-node POWER8 cluster over an inter-node link"
+)
 def power8_cluster_spec(
     n_nodes: int,
     gpus_per_node: int = 8,
@@ -220,6 +227,9 @@ def _gpu_specs(
     }
 
 
+@MACHINES.register(
+    "fat_tree", description="fat-tree fabric with full bisection bandwidth"
+)
 def fat_tree_spec(
     n_gpus: int,
     gpu_flops: float = 2.0e12,
@@ -265,6 +275,7 @@ def fat_tree_spec(
     return MachineSpec(name=name, topology=topo, device_specs=devs, host=hosts[0])
 
 
+@MACHINES.register("torus", description="2-D torus fabric (rows x cols GPUs)")
 def torus_spec(
     rows: int,
     cols: int,

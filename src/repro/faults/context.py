@@ -53,11 +53,13 @@ class FaultContext:
     min_learners: int = 1          # below this, elastic gives up
 
     def __post_init__(self) -> None:
-        if self.recovery not in RECOVERY_POLICIES:
-            raise ValueError(
-                f"unknown recovery policy {self.recovery!r} "
-                f"(known: {', '.join(RECOVERY_POLICIES)})"
-            )
+        # lazy: recovery.py registers the policies, and importing it here at
+        # module level would cycle through repro.runtime
+        from ..spec.registry import RECOVERY
+
+        from . import recovery as _recovery  # noqa: F401  (registration side effect)
+
+        RECOVERY.get(self.recovery)
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"

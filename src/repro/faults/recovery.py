@@ -22,12 +22,25 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from ..runtime.api import LearnerFailure
+from ..spec.registry import RECOVERY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algos.base import TrainResult
     from ..algos.distributed import DistributedTrainer
 
 __all__ = ["elastic_train", "ElasticGaveUp"]
+
+# fail_fast and restart_shard have no driver function: the first is the
+# trainers' default propagate-the-failure behaviour, the second is handled
+# inside the parameter-server supervisor.
+RECOVERY.register(
+    "fail_fast", None, allow_none=True,
+    description="first learner failure propagates (default)",
+)
+RECOVERY.register(
+    "restart_shard", None, allow_none=True,
+    description="respawn dead PS shards from their periodic snapshots",
+)
 
 
 class ElasticGaveUp(LearnerFailure):
@@ -44,6 +57,10 @@ class ElasticGaveUp(LearnerFailure):
         self.restarts = restarts
 
 
+@RECOVERY.register(
+    "elastic",
+    description="survivors restart from the last checkpoint as a smaller collective",
+)
 def elastic_train(trainer: "DistributedTrainer") -> "TrainResult":
     """Run ``trainer`` to completion, shrinking the collective on failure.
 

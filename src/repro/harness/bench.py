@@ -362,12 +362,18 @@ def _bench_fabric(reps: int) -> Dict[str, Dict[str, object]]:
 
 
 def _bench_experiment() -> Dict[str, Dict[str, object]]:
-    """End-to-end wall time for one small figure experiment (unit scale)."""
-    from .experiments import run_experiment
+    """End-to-end wall time for one small figure experiment (unit scale).
+
+    Declared as a :class:`~repro.spec.ScenarioSpec` and compiled through
+    :func:`~repro.spec.compile_scenario` so the bench times the same
+    spec-driven path that ``repro run`` and the grid runner exercise.
+    """
+    from ..spec import ScenarioSpec, compile_scenario
 
     kwargs = dict(p_values=(1, 2), epochs=1, seed=5, eval_every=1, scale="unit")
+    plan = compile_scenario(ScenarioSpec(experiment="fig2", params=kwargs))
     t0 = time.perf_counter()
-    result = run_experiment("fig2", **kwargs)
+    result = plan.execute(jobs=1)
     seconds = time.perf_counter() - t0
     return {
         "experiment_fig2_unit": _entry(

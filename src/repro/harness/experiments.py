@@ -55,6 +55,7 @@ from ..cluster.machine import (
     torus_spec,
 )
 from ..comm.collectives import contiguous_groups
+from ..spec import registry as _spec_registry
 from .calibration import PAPER_PROFILE
 from .timing import TimingWorkload, simulate_epoch_time
 
@@ -76,8 +77,21 @@ class ExperimentResult:
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {}
 
 
-def experiment(exp_id: str, title: str, paper_claim: str):
-    """Register a figure/table reproduction under ``exp_id``."""
+def experiment(
+    exp_id: str,
+    title: str,
+    paper_claim: str,
+    split_axes: Tuple[str, ...] = (),
+):
+    """Register a figure/table reproduction under ``exp_id``.
+
+    ``split_axes`` names the sweep axes forming the experiment body's
+    *outermost* loop(s), in nesting order — the axes along which the grid
+    runner may decompose a full-grid call into independent single-point
+    calls whose concatenated rows/series are bit-identical to the one-shot
+    run.  Leave empty for experiments with cross-axis state (e.g. fig4's
+    shared sequential-baseline row).
+    """
 
     def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
         def run(**kwargs) -> ExperimentResult:
@@ -91,18 +105,20 @@ def experiment(exp_id: str, title: str, paper_claim: str):
         run.__doc__ = fn.__doc__
         run.__wrapped__ = fn  # expose the signature (grid defaults) to the parallel runner
         EXPERIMENTS[exp_id] = run
+        _spec_registry.EXPERIMENTS.register(
+            exp_id, run, title=title, claim=paper_claim,
+            split_axes=tuple(split_axes),
+        )
         return run
 
     return wrap
 
 
 def run_experiment(exp_id: str, **kwargs) -> ExperimentResult:
-    try:
-        fn = EXPERIMENTS[exp_id]
-    except KeyError:
-        raise ValueError(
-            f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}"
-        ) from None
+    if exp_id not in EXPERIMENTS:
+        # registry error: names the value, suggests close matches
+        _spec_registry.EXPERIMENTS.get(exp_id)
+    fn = EXPERIMENTS[exp_id]
     # `backend` is ambient rather than a per-experiment parameter: every
     # trainer the experiment constructs picks it up, and experiment
     # signatures stay backend-free.  Timing-model experiments (fig1/4/5/6)
@@ -337,6 +353,7 @@ def _nlcf_cfg(p: int, epochs: int, lr: float, seed: int, eval_every: int) -> Tra
     "Downpour (ASGD) convergence for CIFAR-10 with the practical learning rate",
     "with constant practical γ, the accuracy gap to SGD grows with p: "
     "convergence speedup is sublinear",
+    split_axes=("p_values",),
 )
 def fig2(
     p_values: Sequence[int] = (1, 2, 8, 16),
@@ -374,6 +391,7 @@ def fig2(
     "Downpour convergence for CIFAR-10 with the theory learning rate",
     "with the tiny γ from Lian et al.'s analysis the curves for all p overlap "
     "(linear convergence speedup) but reach much worse accuracy than practical γ",
+    split_axes=("p_values",),
 )
 def fig3(
     p_values: Sequence[int] = (1, 2, 8, 16),
@@ -444,6 +462,7 @@ def _sasgd_T_sweep(problem_kind, T_values, p_values, epochs, lr, seed, eval_ever
     "SASGD test accuracy vs epochs for several T, CIFAR-10",
     "accuracy after a fixed number of epochs degrades as T grows; the "
     "degradation is negligible for small p and grows with p",
+    split_axes=("p_values", "T_values"),
 )
 def fig7(
     T_values: Sequence[int] = (1, 2, 4, 8),
@@ -462,6 +481,7 @@ def fig7(
     "SASGD test accuracy vs epochs for several T, NLC-F",
     "same sweep as Fig 7 on NLC-F; degradation with T is milder and large T "
     "can even win at p=16",
+    split_axes=("p_values", "T_values"),
 )
 def fig8(
     T_values: Sequence[int] = (1, 2, 8, 16),
@@ -512,6 +532,7 @@ def _compare_algos(problem_kind, p_values, T, epochs, lr, seed, eval_every, scal
     "Training/test accuracy of Downpour vs EAMSGD vs SASGD, CIFAR-10, large T",
     "SASGD > EAMSGD > Downpour; Downpour erratic from p=4 and near random guess "
     "at p=16; the SASGD-EAMSGD gap widens with p",
+    split_axes=("p_values",),
 )
 def fig9(
     p_values: Sequence[int] = (2, 4, 8, 16),
@@ -530,6 +551,7 @@ def fig9(
     "Training/test accuracy of Downpour vs EAMSGD vs SASGD, NLC-F, large T",
     "SASGD stays near the sequential accuracy at every p while Downpour and "
     "EAMSGD collapse toward random guess at p>=8",
+    split_axes=("p_values",),
 )
 def fig10(
     p_values: Sequence[int] = (2, 4, 8, 16),

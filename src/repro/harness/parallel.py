@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..obs import events as _events
+from ..spec import registry as _spec_registry
 from .experiments import EXPERIMENTS, ExperimentResult, run_experiment
 from .serialization import result_from_dict, result_to_dict
 
@@ -55,17 +56,27 @@ __all__ = [
     "run_experiment_parallel",
 ]
 
+class _SplitAxesView(dict):
+    """Read-through view of each experiment's registered ``split_axes``.
+
+    The axes are declared at definition site (``@experiment(...,
+    split_axes=...)`` in :mod:`.experiments`) and land in the experiment
+    registry's metadata; this dict mirrors the non-empty entries so existing
+    ``SPLIT_AXES[exp_id]`` / ``.get`` call sites keep working.
+    """
+
+    def refresh(self) -> "_SplitAxesView":
+        for exp_id in _spec_registry.EXPERIMENTS:
+            axes = tuple(_spec_registry.EXPERIMENTS.meta(exp_id).get("split_axes") or ())
+            if axes:
+                self[exp_id] = axes
+        return self
+
+
 # Sweep axes that form the outermost loop(s) of each experiment body, in
 # nesting order.  Only experiments whose rows/series are a pure concatenation
-# over these axes belong here.
-SPLIT_AXES: Dict[str, Tuple[str, ...]] = {
-    "fig2": ("p_values",),
-    "fig3": ("p_values",),
-    "fig7": ("p_values", "T_values"),
-    "fig8": ("p_values", "T_values"),
-    "fig9": ("p_values",),
-    "fig10": ("p_values",),
-}
+# over these axes declare them.
+SPLIT_AXES: Dict[str, Tuple[str, ...]] = _SplitAxesView().refresh()
 
 # Bump when a change invalidates previously cached results (algorithm or
 # serialisation semantics, not docs).
@@ -209,12 +220,13 @@ def merge_results(exp_id: str, parts: Sequence[ExperimentResult]) -> ExperimentR
     )
 
 
-def _run_point(exp_id: str, kwargs: dict) -> dict:
+def _run_point(exp_id: str, kwargs: dict, runner=None) -> dict:
     """Worker entry: run one grid point, return the serialised result."""
     # a forked pool worker inherits the parent's ambient event bus (and any
     # open sink file descriptors); cell-level progress is the parent's story
     _events.install(None)
-    return result_to_dict(run_experiment(exp_id, **kwargs))
+    fn = runner if runner is not None else run_experiment
+    return result_to_dict(fn(exp_id, **kwargs))
 
 
 def _resolve_jobs(jobs: int) -> int:
@@ -230,6 +242,8 @@ def iter_grid(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     mp_context: Optional[str] = None,
+    keys: Optional[Sequence[str]] = None,
+    runner=None,
 ) -> Iterator[Tuple[int, ExperimentResult]]:
     """Run grid points, yielding ``(index, result)`` in submission order.
 
@@ -237,10 +251,20 @@ def iter_grid(
     With ``cache_dir`` set, cached points are served from disk and fresh
     completions are written back immediately, so an interrupted sweep resumes
     where it stopped.
+
+    ``keys`` overrides the cache key per point (same length as ``points``) —
+    the spec compiler passes keys derived from the scenario's canonical hash.
+    ``runner`` replaces :func:`run_experiment` as the point executor; it must
+    be a module-level callable (pool workers pickle it) with the same
+    ``(exp_id, **kwargs) -> ExperimentResult`` shape.
     """
     jobs = _resolve_jobs(jobs)
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    keys = [config_key(exp_id, kwargs) for exp_id, kwargs in points]
+    if keys is None:
+        keys = [config_key(exp_id, kwargs) for exp_id, kwargs in points]
+    elif len(keys) != len(points):
+        raise ValueError(f"{len(keys)} keys for {len(points)} points")
+    point_fn = runner if runner is not None else run_experiment
 
     # sweep-level telemetry: per-cell progress rolled up into the ambient
     # bus's snapshot (all no-ops when no bus is installed)
@@ -294,7 +318,7 @@ def iter_grid(
             else:
                 exp_id, kwargs = points[i]
                 sweep_emit(_events.CELL_STARTED, index=i, exp_id=exp_id)
-                yield i, finish(i, run_experiment(exp_id, **kwargs))
+                yield i, finish(i, point_fn(exp_id, **kwargs))
         sweep_emit(_events.SWEEP_FINISHED, status="ok")
         return
 
@@ -307,7 +331,7 @@ def iter_grid(
         futures = {}
         for i in pending:
             sweep_emit(_events.CELL_STARTED, index=i, exp_id=points[i][0])
-            futures[i] = pool.submit(_run_point, *points[i])
+            futures[i] = pool.submit(_run_point, *points[i], runner)
         for i in range(len(points)):
             if i in results:
                 yield i, yield_cached(i)
@@ -321,10 +345,15 @@ def run_grid(
     jobs: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     mp_context: Optional[str] = None,
+    keys: Optional[Sequence[str]] = None,
+    runner=None,
 ) -> List[ExperimentResult]:
     """Like :func:`iter_grid` but collects into a list (input order)."""
     out: List[Optional[ExperimentResult]] = [None] * len(points)
-    for i, result in iter_grid(points, jobs=jobs, cache_dir=cache_dir, mp_context=mp_context):
+    for i, result in iter_grid(
+        points, jobs=jobs, cache_dir=cache_dir, mp_context=mp_context,
+        keys=keys, runner=runner,
+    ):
         out[i] = result
     return out  # type: ignore[return-value]
 
@@ -344,7 +373,7 @@ def run_experiment_parallel(
     part of the cache key, so sim and mp results never alias.
     """
     if exp_id not in EXPERIMENTS:
-        raise ValueError(f"unknown experiment {exp_id!r}; choose from {sorted(EXPERIMENTS)}")
+        _spec_registry.EXPERIMENTS.get(exp_id)  # raises with did-you-mean hints
     if backend is not None:
         kwargs["backend"] = backend
     sub_kwargs = expand_grid(exp_id, kwargs)

@@ -43,6 +43,7 @@ from .api import (
     RunStats,
     blocking,
 )
+from ..spec import registry as _registry
 from .mp_backend import MPBackend, MPCollective, MPParameterServer
 from .sim_backend import SimBackend, SimCollective, SimParameterServer
 
@@ -72,6 +73,15 @@ BACKENDS = {
     "mp": MPBackend,
 }
 
+_registry.BACKENDS.register(
+    "sim", SimBackend,
+    description="discrete-event simulator in virtual time (default)",
+)
+_registry.BACKENDS.register(
+    "mp", MPBackend,
+    description="one OS process per learner over shared-memory collectives",
+)
+
 # Stack of ambient default-backend factories installed by use_backend().
 # A factory (not an instance) because each trainer needs a fresh backend.
 _DEFAULT_FACTORIES: List[Callable[[], Backend]] = []
@@ -79,12 +89,7 @@ _DEFAULT_FACTORIES: List[Callable[[], Backend]] = []
 
 def make_backend(name: str, **kwargs) -> Backend:
     """Instantiate a registered backend by name ('sim' or 'mp')."""
-    try:
-        cls = BACKENDS[name]
-    except KeyError:
-        known = ", ".join(sorted(BACKENDS))
-        raise ValueError(f"unknown backend {name!r} (known: {known})") from None
-    return cls(**kwargs)
+    return _registry.BACKENDS.get(name)(**kwargs)
 
 
 @contextmanager

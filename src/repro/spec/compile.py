@@ -1,0 +1,365 @@
+"""Compile a :class:`ScenarioSpec` into exactly what the harness runs.
+
+:func:`compile_scenario` turns a validated spec into a :class:`RunPlan`:
+the grid points the parallel runner consumes (``(exp_id, kwargs)`` pairs,
+the same shape :func:`repro.harness.parallel.run_grid` has always taken),
+one disk-cache key per point derived from the *spec's* canonical hash, the
+fault context, and the merge that folds part-results back into one
+:class:`~repro.harness.experiments.ExperimentResult`.
+
+The compiled plan runs on the one pre-existing execution path — sweep
+expansion → :func:`expand_grid` over the family's registered split axes →
+:func:`run_grid` → :func:`merge_results` — which PR 2's equivalence suite
+pins bit-identical to the serial in-process loop.  A spec with no sweep, no
+faults and no backend override therefore reproduces the Python-wired
+``run_experiment(exp_id, **params)`` result exactly.
+
+Cache identity
+--------------
+Each point's key is the sha256 of ``{"v": CACHE_VERSION, "spec": <canonical
+sub-spec>}`` where the sub-spec is the scenario with ``params`` replaced by
+that point's fully-resolved kwargs.  Because the canonical form covers
+*every* field — backend, fault plan, recovery, machine, options — an
+unchanged spec hits the disk cache and any field change (a new fault seed,
+a different backend) misses, with no aliasing between scenarios.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from . import registry as reg
+from .scenario import ScenarioSpec, SpecError
+
+__all__ = ["RunPlan", "compile_scenario", "run_custom", "run_custom_point"]
+
+CUSTOM_EXP_ID = "custom"
+
+
+def _split_expand(exp_id: str, kwargs: dict) -> List[dict]:
+    from ..harness.parallel import expand_grid
+
+    return expand_grid(exp_id, kwargs)
+
+
+def _sweep_label(combo: Dict[str, Any]) -> str:
+    return ",".join(f"{k}={v}" for k, v in combo.items())
+
+
+@dataclass
+class RunPlan:
+    """A compiled scenario: grid points + cache keys + run contexts.
+
+    ``points``/``keys`` feed straight into
+    :func:`repro.harness.parallel.run_grid`; :meth:`merge` folds the
+    returned parts back into one result; :meth:`execute` does all of it —
+    install event sinks and the fault context, fan out, merge.
+    """
+
+    spec: ScenarioSpec
+    exp_id: str
+    points: List[Tuple[str, dict]]
+    keys: List[str]
+    #: slices of ``points`` per sweep combo, with the combo that produced them
+    combos: List[Tuple[Dict[str, Any], int, int]]
+    runner: Optional[Callable[..., Any]] = None  # None = run_experiment
+    mode: str = "experiment"
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def fault_ctx(self):
+        """A fresh FaultContext for this run (None when the spec has none)."""
+        spec = self.spec
+        if not (spec.faults or spec.recovery or spec.checkpoint_dir or spec.resume):
+            return None
+        from ..faults import FaultContext, open_store
+
+        return FaultContext(
+            plan=spec.fault_plan(),
+            recovery=spec.recovery or "fail_fast",
+            store=open_store(spec.checkpoint_dir) if spec.checkpoint_dir else None,
+            resume=spec.resume,
+        )
+
+    def merge(self, parts: Sequence) -> Any:
+        """Fold per-point results (aligned with ``points``) into one result."""
+        from ..harness.parallel import merge_results
+
+        combo_results = []
+        for combo, lo, hi in self.combos:
+            combo_results.append((combo, merge_results(self.exp_id, parts[lo:hi])))
+        if len(combo_results) == 1 and not combo_results[0][0]:
+            return combo_results[0][1]
+        # a swept scenario: tag rows with the sweep point and namespace the
+        # series so concatenation stays loss-free
+        from ..harness.experiments import ExperimentResult
+
+        rows: List[dict] = []
+        series: Dict[str, list] = {}
+        notes = ""
+        for combo, result in combo_results:
+            label = _sweep_label(combo)
+            for row in result.rows:
+                tagged = dict(row)
+                for k, v in combo.items():
+                    tagged.setdefault(k, v)
+                rows.append(tagged)
+            for name, pts in result.series.items():
+                series[f"{label},{name}" if label else name] = pts
+            if not notes and result.notes:
+                notes = result.notes
+        first = combo_results[0][1]
+        return ExperimentResult(
+            exp_id=first.exp_id,
+            title=first.title,
+            paper_claim=first.paper_claim,
+            rows=rows,
+            series=series,
+            notes=notes,
+        )
+
+    def execute(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        mp_context: Optional[str] = None,
+    ) -> Any:
+        """Run the plan end to end and return the merged ExperimentResult.
+
+        Installs the spec's event sinks and fault context for the duration.
+        Fault injection and recovery keep their state in the run process, so
+        a faulted scenario runs with ``jobs=1`` regardless (matching the
+        CLI's historical behaviour).
+        """
+        import contextlib
+
+        from ..harness.parallel import run_grid
+
+        ctx = self.fault_ctx
+        if ctx is not None and self.mode == "experiment":
+            jobs = 1
+
+        with contextlib.ExitStack() as stack:
+            if self.spec.events:
+                from .. import obs
+
+                sinks: List[Any] = []
+                for spec_ev in self.spec.events:
+                    if spec_ev in ("console", "-"):
+                        sinks.append(obs.ConsoleProgressSink())
+                    else:
+                        sinks.append(obs.JsonlRecorderSink(spec_ev))
+                bus = obs.EventBus(sinks=sinks)
+                stack.callback(bus.close)
+                stack.enter_context(obs.use_events(bus))
+            if ctx is not None and self.mode == "experiment":
+                from ..faults import use_faults
+
+                stack.enter_context(use_faults(ctx))
+            parts = run_grid(
+                self.points,
+                jobs=jobs,
+                cache_dir=cache_dir,
+                mp_context=mp_context,
+                keys=self.keys,
+                runner=self.runner,
+            )
+            return self.merge(parts)
+
+
+def _point_key(spec: ScenarioSpec, point_spec: ScenarioSpec) -> str:
+    import hashlib
+    import json
+
+    from ..harness.parallel import CACHE_VERSION
+
+    blob = json.dumps(
+        {"v": CACHE_VERSION, "spec": point_spec.canonical()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:24]
+
+
+def _experiment_plan(spec: ScenarioSpec) -> RunPlan:
+    exp_id = spec.experiment
+    assert exp_id is not None
+    base = dict(spec.params)
+    # backend selection rides in each point's kwargs (run_experiment strips
+    # it), so pool workers — which do not inherit ambient contexts — agree
+    # with the inline path
+    backend_extra: Dict[str, Any] = {}
+    if spec.backend is not None:
+        backend_extra["backend"] = spec.backend
+        extra_args = dict(spec.backend_args)
+        timeout = extra_args.pop("timeout", None)
+        if extra_args:
+            raise SpecError(
+                "experiment scenarios support only backend_args: {timeout: S} "
+                f"(got {sorted(extra_args)})",
+                field="backend_args",
+            )
+        if timeout is not None:
+            backend_extra["backend_timeout"] = timeout
+
+    points: List[Tuple[str, dict]] = []
+    keys: List[str] = []
+    combos: List[Tuple[Dict[str, Any], int, int]] = []
+    for combo in spec.sweep_points():
+        kwargs = dict(base)
+        kwargs.update(combo)
+        lo = len(points)
+        for sub in _split_expand(exp_id, kwargs):
+            run_kwargs = dict(sub)
+            run_kwargs.update(backend_extra)
+            points.append((exp_id, run_kwargs))
+            keys.append(_point_key(spec, replace(spec, params=sub, sweep={}, events=())))
+        combos.append((combo, lo, len(points)))
+    return RunPlan(
+        spec=spec, exp_id=exp_id, points=points, keys=keys, combos=combos,
+        runner=None, mode="experiment",
+    )
+
+
+# --------------------------------------------------------------------------
+# custom scenarios: problem + algorithm + machine wired from the registries
+# --------------------------------------------------------------------------
+
+
+def _build_trainer(spec: ScenarioSpec):
+    """Instantiate the spec's trainer (problem, config, options, substrate)."""
+    from ..algos.base import TrainerConfig
+
+    problem_factory = reg.PROBLEMS.get(spec.problem, field="problem")
+    trainer_cls = reg.TRAINERS.get(spec.algorithm, field="algorithm")
+    options_cls = reg.TRAINERS.meta(spec.algorithm).get("options")
+
+    problem = problem_factory(**spec.problem_args)
+    config = TrainerConfig(**spec.config)
+
+    sig = inspect.signature(trainer_cls.__init__)
+    accepted = set(sig.parameters)
+    kwargs: Dict[str, Any] = {}
+    if options_cls is not None and "options" in accepted:
+        kwargs["options"] = options_cls(**spec.options)
+
+    if spec.machine is not None:
+        if "machine" not in accepted:
+            raise SpecError(
+                f"trainer {spec.algorithm!r} does not run on a simulated "
+                "machine (it is not a distributed trainer)",
+                field="machine",
+            )
+        from ..cluster.machine import Machine
+
+        margs = dict(spec.machine_args)
+        machine_seed = margs.pop("seed", 0)
+        machine_spec = reg.MACHINES.get(spec.machine, field="machine")(**margs)
+        kwargs["machine"] = Machine(machine_spec, seed=machine_seed)
+    elif spec.backend is not None:
+        if "backend" not in accepted:
+            raise SpecError(
+                f"trainer {spec.algorithm!r} takes no backend (it runs "
+                "in-process)",
+                field="backend",
+            )
+        from ..runtime import make_backend
+
+        kwargs["backend"] = make_backend(spec.backend, **spec.backend_args)
+
+    ctx = None
+    if spec.faults or spec.recovery or spec.checkpoint_dir or spec.resume:
+        if "fault_ctx" not in accepted:
+            raise SpecError(
+                f"trainer {spec.algorithm!r} does not support fault "
+                "injection/recovery",
+                field="faults",
+            )
+        from ..faults import FaultContext, open_store
+
+        ctx = FaultContext(
+            plan=spec.fault_plan(),
+            recovery=spec.recovery or "fail_fast",
+            store=open_store(spec.checkpoint_dir) if spec.checkpoint_dir else None,
+            resume=spec.resume,
+        )
+        kwargs["fault_ctx"] = ctx
+
+    return trainer_cls(problem, config, **kwargs)
+
+
+def run_custom(spec: ScenarioSpec) -> Any:
+    """Run one custom scenario point and report it as an ExperimentResult."""
+    from ..harness.experiments import ExperimentResult
+
+    trainer = _build_trainer(spec)
+    res = trainer.train()
+    label = spec.name or f"{spec.algorithm}@{spec.problem}"
+    rows = [
+        {
+            "algorithm": spec.algorithm,
+            "problem": spec.problem,
+            "p": res.config.p,
+            "final_train_acc": round(res.final_train_acc or 0.0, 3),
+            "final_test_acc": round(res.final_test_acc or 0.0, 3),
+            "backend": res.extras.get("backend", "sim"),
+        }
+    ]
+    series = {
+        "test": [(float(e), float(a)) for e, a in res.test_accuracy_series()],
+        "train": [(float(r.epoch), float(r.train_acc)) for r in res.records],
+    }
+    return ExperimentResult(
+        exp_id=CUSTOM_EXP_ID,
+        title=label,
+        paper_claim="",
+        rows=rows,
+        series=series,
+        notes=f"custom scenario {label}",
+    )
+
+
+def run_custom_point(exp_id: str, **kwargs) -> Any:
+    """Pool-safe runner for custom-scenario grid points.
+
+    The grid runner hands workers ``(exp_id, {"spec": <canonical dict>})``;
+    the worker rebuilds the spec (cheap, validated) and trains.  Module-level
+    so :mod:`concurrent.futures` can pickle it.
+    """
+    spec = ScenarioSpec.from_dict(kwargs["spec"])
+    return run_custom(spec)
+
+
+def _custom_plan(spec: ScenarioSpec) -> RunPlan:
+    points: List[Tuple[str, dict]] = []
+    keys: List[str] = []
+    combos: List[Tuple[Dict[str, Any], int, int]] = []
+    for combo in spec.sweep_points():
+        cfg = dict(spec.config)
+        opts = dict(spec.options)
+        for axis, value in combo.items():
+            scope, _, key = axis.partition(".")
+            (cfg if scope == "config" else opts)[key] = value
+        sub = replace(spec, config=cfg, options=opts, sweep={}, events=())
+        lo = len(points)
+        points.append((CUSTOM_EXP_ID, {"spec": sub.canonical()}))
+        keys.append(_point_key(spec, sub))
+        combos.append((combo, lo, len(points)))
+    return RunPlan(
+        spec=spec, exp_id=CUSTOM_EXP_ID, points=points, keys=keys,
+        combos=combos, runner=run_custom_point, mode="custom",
+    )
+
+
+def compile_scenario(spec: Union[ScenarioSpec, Dict[str, Any]]) -> RunPlan:
+    """Validate ``spec`` and compile it to a :class:`RunPlan`."""
+    if isinstance(spec, dict):
+        spec = ScenarioSpec.from_dict(spec)
+    else:
+        spec.validate()
+    if spec.mode == "experiment":
+        return _experiment_plan(spec)
+    return _custom_plan(spec)

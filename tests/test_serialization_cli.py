@@ -114,11 +114,15 @@ def test_cli_run_with_overrides(capsys, tmp_path):
     assert saved.rows[0]["p"] == 32
 
 
-def test_cli_unknown_experiment():
+def test_cli_unknown_experiment(capsys):
     from repro.__main__ import main
 
-    with pytest.raises(ValueError):
-        main(["run", "fig99"])
+    # no traceback: exit code 2 with a did-you-mean listing on stderr
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "did you mean" in err and "fig9" in err
+    assert "registered:" in err
 
 
 def test_cli_claims(capsys):
