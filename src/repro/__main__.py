@@ -54,10 +54,21 @@ claims
 inspect FILE
     Summarise a file written by ``run``: experiment result, metrics export,
     Chrome trace, run manifest, or JSONL event log (auto-detected).
-watch EVENTS.jsonl [--interval S] [--once]
+watch [EVENTS.jsonl | --connect HOST:PORT] [--interval S] [--once]
     Tail a ``--events`` recorder file, folding the stream into a live
     ``RunSnapshot`` view; exits when the run finishes (or after one render
-    with ``--once``).
+    with ``--once``).  ``--connect`` attaches to a live TCP event stream
+    (a run started with ``--events tcp://host:port``) instead of a file:
+    the publisher replays a snapshot of the run so far, then live deltas.
+launch SPEC [--role JOB:TASK] [--print-commands] [--timeout S]
+    Bring a custom scenario up as a real multi-process TCP cluster (the
+    ``net`` backend).  Without ``--role``, spawns every worker and PS
+    shard as a local subprocess on loopback ephemeral ports and runs the
+    coordinator inline; ``--print-commands`` instead prints one
+    copy-pasteable command per role for separate terminals or hosts.
+    ``--role worker:0`` / ``ps:0`` / ``coordinator`` takes a single seat
+    in a cluster described by ``REPRO_CLUSTER_SPEC`` (what the printed
+    commands set).
 """
 
 from __future__ import annotations
@@ -181,7 +192,11 @@ def _cmd_run(args, parser) -> int:
 
     want_obs = bool(args.trace or args.metrics or args.manifest or args.save or args.profile)
     session = obs.ObsSession(trace=bool(args.trace or args.profile))
-    event_files = [ev for ev in spec.events if ev not in ("console", "-")]
+    event_files = [
+        ev
+        for ev in spec.events
+        if ev not in ("console", "-") and not ev.startswith("tcp://")
+    ]
     t0 = time.perf_counter()
     with contextlib.ExitStack() as stack:
         if want_obs:
@@ -250,6 +265,9 @@ def _cmd_list(args) -> int:
             meta = registry.meta(name)
             blurb = meta.get("title") or meta.get("description") or ""
             print(f"  {name:<22}{blurb}".rstrip())
+            capabilities = meta.get("capabilities")
+            if capabilities:
+                print(f"  {'':<22}  {capabilities}")
         print()
     return 0
 
@@ -431,9 +449,60 @@ def _cmd_inspect(path: str) -> int:
     return 1
 
 
+def _cmd_watch_remote(args) -> int:
+    """Attach to a live TCP event stream and render snapshot views."""
+    from . import obs
+    from .net.events import iter_remote_events
+    from .net.frames import ConnectionLost
+
+    snap = obs.RunSnapshot()
+    saw_any = False
+    last_render = 0.0
+    try:
+        for event in iter_remote_events(args.connect):
+            snap.apply(event)
+            saw_any = True
+            now = time.monotonic()
+            # coalesce render bursts to one view per --interval
+            if now - last_render >= args.interval or snap.finished:
+                print(obs.format_snapshot(snap))
+                print()
+                last_render = now
+            if args.once or snap.finished:
+                break
+    except ConnectionLost as exc:
+        print(f"cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
+    if not saw_any:
+        print(f"{args.connect}: stream closed before any event", file=sys.stderr)
+        return 1
+    if not (args.once or snap.finished):
+        # publisher went away mid-run: show what we had
+        print(obs.format_snapshot(snap))
+    return 0
+
+
 def _cmd_watch(args) -> int:
     """Tail a JSONL event recorder file and render live snapshot views."""
     from . import obs
+
+    if args.connect:
+        if args.path is not None:
+            print(
+                "error: pass a file or --connect HOST:PORT, not both",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_watch_remote(args)
+    if args.path is None:
+        print(
+            "error: pass an events file (or --connect HOST:PORT for a live "
+            "stream)",
+            file=sys.stderr,
+        )
+        return 2
 
     path = Path(args.path)
     snap = obs.RunSnapshot()
@@ -478,6 +547,24 @@ def _cmd_watch(args) -> int:
     return 0
 
 
+def _cmd_launch(args) -> int:
+    """Run a scenario as a real multi-process TCP cluster (net backend)."""
+    from .net.launch import launch
+    from .runtime import BackendCapabilityError
+    from .spec import SpecError, UnknownNameError
+
+    try:
+        return launch(
+            args.spec,
+            role=args.role,
+            print_commands=args.print_commands,
+            timeout=args.timeout,
+        )
+    except (SpecError, UnknownNameError, BackendCapabilityError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -520,8 +607,9 @@ def main(argv=None) -> int:
     run_p.add_argument(
         "--backend",
         default=None,
-        help="execution backend: 'sim' (virtual time, the default) or 'mp' "
-        "(real multiprocessing on host cores)",
+        help="execution backend: 'sim' (virtual time, the default), 'mp' "
+        "(real multiprocessing on host cores), or 'net' (separate "
+        "processes over TCP sockets; see also `repro launch`)",
     )
     run_p.add_argument("--save", default=None, help="write the result as JSON")
     run_p.add_argument(
@@ -591,16 +679,18 @@ def main(argv=None) -> int:
         type=float,
         default=None,
         metavar="S",
-        help="mp-backend starvation timeout in seconds (default 30)",
+        help="mp/net-backend starvation timeout in seconds",
     )
     run_p.add_argument(
         "--events",
         action="append",
         default=[],
-        metavar="PATH|console",
+        metavar="PATH|console|tcp://H:P",
         help="stream structured run events: 'console' (or '-') prints live "
-        "progress lines, any other value records a JSONL event log readable "
-        "by `repro watch` and `repro inspect` (repeatable)",
+        "progress lines, 'tcp://host:port' publishes to live subscribers "
+        "(`repro watch --connect host:port`), any other value records a "
+        "JSONL event log readable by `repro watch` and `repro inspect` "
+        "(repeatable)",
     )
 
     bench_p = sub.add_parser(
@@ -654,9 +744,23 @@ def main(argv=None) -> int:
     ins_p.add_argument("path")
 
     watch_p = sub.add_parser(
-        "watch", help="tail a JSONL event log and render a live snapshot view"
+        "watch",
+        help="tail a JSONL event log (or attach to a live TCP stream) and "
+        "render a live snapshot view",
     )
-    watch_p.add_argument("path", help="events file written by `run --events`")
+    watch_p.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="events file written by `run --events` (omit with --connect)",
+    )
+    watch_p.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="attach to a live TCP event stream (a run started with "
+        "--events tcp://HOST:PORT); replays a snapshot, then live deltas",
+    )
     watch_p.add_argument(
         "--interval",
         type=float,
@@ -668,6 +772,35 @@ def main(argv=None) -> int:
         "--once",
         action="store_true",
         help="render the current snapshot once and exit (no tailing)",
+    )
+
+    launch_p = sub.add_parser(
+        "launch",
+        help="run a custom scenario as a multi-process TCP cluster "
+        "(net backend): spawn all roles locally, print per-role commands, "
+        "or take one role",
+    )
+    launch_p.add_argument("spec", help="custom scenario document (.yml/.json)")
+    launch_p.add_argument(
+        "--role",
+        default=None,
+        metavar="JOB:TASK",
+        help="take one seat (coordinator, worker:K, ps:K) in the cluster "
+        "described by REPRO_CLUSTER_SPEC instead of spawning everything",
+    )
+    launch_p.add_argument(
+        "--print-commands",
+        action="store_true",
+        help="print one copy-pasteable command per role (for separate "
+        "terminals or remote hosts) instead of spawning subprocesses",
+    )
+    launch_p.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="net-backend starvation/rendezvous timeout in seconds "
+        "(default: 120)",
     )
 
     args = parser.parse_args(argv)
@@ -692,6 +825,9 @@ def main(argv=None) -> int:
 
     if args.command == "watch":
         return _cmd_watch(args)
+
+    if args.command == "launch":
+        return _cmd_launch(args)
 
     if args.command == "bench":
         return _cmd_bench(args)

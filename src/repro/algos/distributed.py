@@ -274,7 +274,7 @@ class DistributedTrainer:
         # the parent process on every backend (so a memory store works and
         # RNG states are pristine).  mp learner-coroutine writes run inside
         # rank 0's forked worker instead.
-        in_worker = in_worker and self.backend.name == "mp"
+        in_worker = in_worker and self.backend.name in ("mp", "net")
         full = not in_worker
         if in_worker and not isinstance(ctx.store, DirCheckpointStore):
             return

@@ -261,6 +261,78 @@ def _bench_mp_interval(
     }
 
 
+def _bench_net_roundtrips(
+    reps: int, timeout: float = 30.0
+) -> Dict[str, Dict[str, object]]:
+    """Latency of the net backend's two wire primitives on loopback TCP.
+
+    ``net_allreduce_roundtrip`` is one full chunked ring allreduce of a
+    model-sized float32 vector between two real processes (the framed
+    protocol end to end: reduce-scatter + allgather, 2 hops each).
+    ``net_ps_push_pull`` is one push + one pull against a live PS shard
+    process — the per-step cost every Downpour/EAMSGD learner pays.
+    Skipped (empty dict) where fork is unavailable.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return {}
+    from ..net.backend import NetCollective, NetParameterServer
+    from ..net.cluster import allocate_loopback, close_all
+
+    dim = 65_536  # ~256 KB of float32, the bench CIFAR model's order
+    ctx = multiprocessing.get_context("fork")
+    out: Dict[str, Dict[str, object]] = {}
+
+    # -- ring allreduce: parent is rank 0, a forked peer is rank 1 ---------
+    spec, listeners = allocate_loopback(p=2)
+    coll = NetCollective(p=2, timeout=timeout)
+    coll.install(spec, {0: listeners["worker0"], 1: listeners["worker1"]})
+
+    def peer_main() -> None:
+        arr = np.ones(dim, dtype=np.float32)
+        try:
+            while True:  # keep answering until the parent tears the ring down
+                coll._allreduce(1, arr)
+        except BaseException:
+            os._exit(0)
+
+    peer = ctx.Process(target=peer_main, name="repro-bench-peer", daemon=True)
+    peer.start()
+    try:
+        mine = np.ones(dim, dtype=np.float32)
+        ar_s, ar_r = _time(lambda: coll._allreduce(0, mine), reps)
+        out["net_allreduce_roundtrip"] = _entry(ar_s, ar_r, dim=dim, p=2)
+    finally:
+        coll.teardown_rank()
+        peer.join(timeout=10.0)
+        if peer.is_alive():  # pragma: no cover - defensive
+            peer.terminate()
+        close_all(listeners)
+
+    # -- PS push/pull: one live shard process, one client ------------------
+    spec, listeners = allocate_loopback(p=0, n_shards=1)
+    ps = NetParameterServer(
+        ctx, p=1, size=dim, n_shards=1, learning_rate=0.01,
+        dtype=np.float32, timeout=timeout,
+    )
+    ps.start(spec.ps, listeners)
+    try:
+        client = ps.client(0)
+        grad = np.ones(dim, dtype=np.float32)
+
+        def push_pull() -> None:
+            client._push(grad)
+            client._pull()
+
+        pp_s, pp_r = _time(push_pull, reps)
+        out["net_ps_push_pull"] = _entry(pp_s, pp_r, dim=dim, n_shards=1)
+    finally:
+        ps.shutdown()
+        close_all(listeners)
+    return out
+
+
 def _bench_engine(reps: int) -> Dict[str, Dict[str, object]]:
     """Event throughput of the batched calendar vs the verbatim legacy engine.
 
@@ -424,6 +496,8 @@ def run_benchmarks(
     if include_experiment:
         if want("sasgd_interval_mp_backend"):
             benches.update(_bench_mp_interval(2 if quick else 3, timeout=mp_timeout))
+        if want("net_allreduce_roundtrip", "net_ps_push_pull"):
+            benches.update(_bench_net_roundtrips(max(5, reps), timeout=mp_timeout))
         if want("experiment_fig2_unit"):
             benches.update(_bench_experiment())
     if name_filter is not None:

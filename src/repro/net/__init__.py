@@ -1,0 +1,54 @@
+"""repro.net — distributed execution over TCP sockets.
+
+The third :mod:`repro.runtime` backend: learners and parameter-server
+shards are separate OS processes (potentially on separate hosts) that
+discover each other through a JSON cluster spec and speak a versioned,
+length-prefixed framed protocol (:mod:`repro.net.frames`).
+
+* :class:`NetBackend` — drives the same trainers as ``sim``/``mp``; local
+  loopback clusters fork themselves, external clusters bootstrap from
+  ``REPRO_CLUSTER_SPEC`` (:mod:`repro.net.cluster`).
+* :func:`~repro.net.launch.launch_local` / ``repro launch`` — spawn every
+  role of a scenario spec as separate processes on loopback, or print the
+  per-role commands for remote hosts.
+* :class:`~repro.net.events.TcpEventSink` — stream the live event feed
+  (snapshot + deltas) to TCP subscribers; ``repro watch --connect``
+  attaches to it.
+"""
+
+from .frames import (
+    Conn,
+    ConnectionLost,
+    Frame,
+    ProtocolError,
+    PROTOCOL_VERSION,
+    bind_listener,
+    connect,
+    parse_addr,
+)
+from .cluster import (
+    ClusterSpec,
+    allocate_loopback,
+    role_from_env,
+    spec_from_env,
+)
+from .backend import NetBackend, NetCollective, NetParameterServer, run_ps_role
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Frame",
+    "Conn",
+    "ConnectionLost",
+    "ProtocolError",
+    "connect",
+    "bind_listener",
+    "parse_addr",
+    "ClusterSpec",
+    "allocate_loopback",
+    "spec_from_env",
+    "role_from_env",
+    "NetBackend",
+    "NetCollective",
+    "NetParameterServer",
+    "run_ps_role",
+]

@@ -1,0 +1,1558 @@
+"""NetBackend — the third runtime backend: learners and PS shards are
+separate OS processes talking TCP, discovered through a cluster spec.
+
+The same trainer coroutines that run in virtual time on ``SimBackend`` and
+over shared memory on ``MPBackend`` run here against real sockets:
+
+* **Collectives** are a TCP ring: each rank holds one connection to its
+  successor and one from its predecessor (established lazily from the
+  cluster spec at the first collective call).  Allreduce is the classic
+  chunked ring (p−1 reduce-scatter steps + p−1 allgather steps, tensors
+  framed zero-copy); broadcast forwards hop by hop; object allgather
+  rotates pickled items around the ring.
+* **Parameter server** shards are separate processes, each exclusively
+  owning a contiguous slice and serving framed push/pull/elastic requests
+  in genuine arrival order with the same per-rank seq-dedupe cache as the
+  mp shards — so the retry protocol (same-seq resend with backoff, stale
+  reply discard, typed :class:`RetryBudgetExhausted`) rides on real
+  connections.
+* **Supervision** is connection-loss based: every worker holds a control
+  connection to the coordinator and heartbeats on it; the coordinator
+  declares a rank dead when its control connection drops without a RESULT
+  frame (TCP reset/EOF — milliseconds after a kill), its process exits
+  before ever connecting, or its heartbeat goes stale (wedged-but-alive,
+  or remote hosts where no process handle exists).
+* **Fault injection**: planned crashes are a real ``os._exit`` (detected
+  as above); stragglers really sleep; ``drop``/``delay`` are frame-level —
+  an injected drop consumes a genuine PS_REP frame off the wire and drives
+  the real resend machinery, with the same seeded, deterministic counts as
+  the other backends.
+
+Two modes share all of the above:
+
+* ``fork`` (default, used by ``repro run --backend net``): the parent
+  pre-binds every listener on loopback ephemeral ports (race-free), forks
+  shard and worker processes that inherit the constructed trainer and
+  their own listening socket, and coordinates in-process.  Elastic
+  recovery works exactly as on mp (respawn = a fresh backend with fresh
+  ports).
+* ``coordinator``/``worker`` (driven by ``repro launch``): processes are
+  launched separately — same host or not — and find each other purely
+  through ``REPRO_CLUSTER_SPEC``; PS shards bootstrap their slice from the
+  coordinator's WELCOME frame.  See :mod:`repro.net.launch`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from ..faults.plan import FaultPlan, RetryPolicy
+from ..obs import events as _events
+from ..ps.server import ShardLayout
+from ..sim.trace import Span
+from ..runtime.api import (
+    Backend,
+    BackendCapabilityError,
+    Collective,
+    LearnerFailure,
+    ParameterServerHandle,
+    PSClientLike,
+    RetryBudgetExhausted,
+    RunStats,
+    blocking,
+)
+from .cluster import ClusterSpec, allocate_loopback, close_all
+from .frames import (
+    DATA,
+    ERROR,
+    EVENT,
+    HEARTBEAT,
+    HELLO,
+    PS_REP,
+    PS_REQ,
+    RESULT,
+    STATS,
+    STOP,
+    WELCOME,
+    Conn,
+    ConnectionLost,
+    ProtocolError,
+    bind_listener,
+    connect,
+)
+
+__all__ = ["NetBackend", "NetCollective", "NetParameterServer", "run_ps_role"]
+
+_JOIN_GRACE = 5.0        # seconds to wait for an already-signalled process
+_DEAD_GRACE = 1.0        # drain grace once every awaited rank is known dead
+_CRASH_EXIT = 3          # exit code of a plan-crashed learner
+_PS_CRASH_EXIT = 4       # exit code of a plan-crashed parameter-server shard
+_HEARTBEAT_PERIOD = 0.25  # worker → coordinator liveness stamp interval
+_STALE_AFTER = 5.0       # heartbeat silence that counts as death
+_POLL = 0.1              # monitor poll interval
+
+
+def _noop() -> None:
+    return None
+
+
+def _peer_rank(peer: str) -> Optional[int]:
+    """``"learner3"`` → 3 (None for non-learner peers)."""
+    if peer.startswith("learner") and peer[7:].isdigit():
+        return int(peer[7:])
+    return None
+
+
+class NetCollective(Collective):
+    """Chunked ring allreduce / hop-forward broadcast / rotation allgather
+    over two TCP connections per rank (successor out, predecessor in).
+
+    Connections are strictly ordered streams, so rounds cannot cross-talk:
+    a fast peer's next-round frame simply queues behind the current one.
+    A dead ring neighbour surfaces as :class:`ConnectionLost` on the next
+    send/recv and is rethrown as a typed :class:`LearnerFailure` naming it.
+    """
+
+    def __init__(self, p: int, timeout: float) -> None:
+        self.p = p
+        self.timeout = timeout
+        self.bytes_moved = 0.0  # per-process accumulator after fork
+        self._spec: Optional[ClusterSpec] = None
+        self._listeners: Dict[int, Optional[socket.socket]] = {}
+        self._rank: Optional[int] = None
+        self._next: Optional[Conn] = None
+        self._prev: Optional[Conn] = None
+
+    def install(self, spec: ClusterSpec,
+                listeners: Dict[int, socket.socket]) -> None:
+        """Attach the address book (and, in fork mode, the pre-bound
+        listeners the children inherit).  Runs in the parent, pre-fork."""
+        self._spec = spec
+        self._listeners = dict(listeners)
+
+    def _setup(self, rank: int) -> None:
+        """Join the ring (first collective call in this process only)."""
+        if self._next is not None:
+            return
+        self._rank = rank
+        listener = self._listeners.get(rank)
+        if listener is None:
+            # external mode: bind our own spec address (fixed port)
+            listener = bind_listener(self._spec.workers[rank])
+            self._listeners[rank] = listener
+        succ = (rank + 1) % self.p
+        # connect-then-accept is deadlock-free: the SYN queues in the
+        # successor's listen backlog even before it reaches accept()
+        self._next = connect(
+            self._spec.workers[succ], f"learner{succ}", timeout=self.timeout
+        )
+        self._next.send(HELLO, {"rank": rank})
+        listener.settimeout(self.timeout)
+        try:
+            sock, _ = listener.accept()
+        except socket.timeout:
+            raise LearnerFailure(
+                message=f"ring bootstrap: no predecessor connected within "
+                f"{self.timeout}s; a peer died and the surviving ranks "
+                "deadlocked"
+            ) from None
+        prev = (rank - 1) % self.p
+        self._prev = Conn(sock, f"learner{prev}")
+        self._prev.settimeout(self.timeout)
+        self._next.settimeout(self.timeout)
+        self._prev.recv()  # the predecessor's HELLO
+
+    def teardown_rank(self) -> None:
+        """Close this process's ring endpoints (worker exit path)."""
+        for conn in (self._next, self._prev):
+            if conn is not None:
+                conn.close()
+        self._next = self._prev = None
+
+    def _fail(self, exc: BaseException, opname: str, rank: int) -> LearnerFailure:
+        if isinstance(exc, ConnectionLost):
+            victim = _peer_rank(exc.peer)
+            return LearnerFailure(
+                victim,
+                None,
+                f"{opname}: ring connection to {exc.peer} lost (peer died); "
+                f"rank {rank} abandoned the round (surviving ranks would "
+                "have deadlocked)",
+            )
+        return LearnerFailure(
+            message=f"{opname} stalled for {self.timeout}s on the ring; a "
+            "peer died undetected and the surviving ranks deadlocked"
+        )
+
+    # -- Collective API -----------------------------------------------------
+
+    def broadcast(self, rank, array, root=0, nbytes=0.0, ctx=0) -> Generator:
+        return blocking(self._broadcast, rank, array, root)
+
+    def _broadcast(self, rank: int, array, root: int) -> np.ndarray:
+        if self.p == 1:
+            return np.array(array, copy=True)
+        self._setup(rank)
+        try:
+            if rank == root:
+                out = np.array(array, copy=True)
+                self._next.send_tensor(DATA, out, {"op": "bc"})
+            else:
+                frame = self._prev.recv()
+                out = np.array(frame.tensor(), copy=True)
+                if (rank + 1) % self.p != root:
+                    self._next.send_tensor(DATA, out, {"op": "bc"})
+        except (ConnectionLost, socket.timeout) as exc:
+            raise self._fail(exc, "broadcast", rank) from None
+        self.bytes_moved += float(out.nbytes)
+        return out
+
+    def allreduce(
+        self, rank, array, nbytes=0.0, ctx=0, algorithm="recursive_doubling"
+    ) -> Generator:
+        # `algorithm` picks a wire schedule on the simulated fabric; a TCP
+        # ring has exactly one, so it is accepted and ignored here.
+        return blocking(self._allreduce, rank, array)
+
+    def _allreduce(self, rank: int, array: np.ndarray) -> np.ndarray:
+        if self.p == 1:
+            return np.array(array, copy=True)
+        self._setup(rank)
+        arr = np.ascontiguousarray(array).copy()
+        flat = arr.reshape(-1)
+        edges = np.linspace(0, flat.size, self.p + 1).astype(int)
+        bounds = list(zip(edges[:-1], edges[1:]))
+        try:
+            # reduce-scatter: after p-1 steps rank r holds the full sum of
+            # chunk (r+1) mod p
+            for step in range(self.p - 1):
+                s_chunk = (rank - step) % self.p
+                r_chunk = (rank - step - 1) % self.p
+                lo, hi = bounds[s_chunk]
+                self._next.send_tensor(
+                    DATA, flat[lo:hi], {"op": "ar", "c": s_chunk}
+                )
+                frame = self._prev.recv()
+                lo, hi = bounds[r_chunk]
+                if hi > lo:
+                    flat[lo:hi] += frame.tensor()
+            # allgather: circulate each finished chunk the rest of the way
+            for step in range(self.p - 1):
+                s_chunk = (rank - step + 1) % self.p
+                r_chunk = (rank - step) % self.p
+                lo, hi = bounds[s_chunk]
+                self._next.send_tensor(
+                    DATA, flat[lo:hi], {"op": "ag", "c": s_chunk}
+                )
+                frame = self._prev.recv()
+                lo, hi = bounds[r_chunk]
+                if hi > lo:
+                    flat[lo:hi] = frame.tensor()
+        except (ConnectionLost, socket.timeout) as exc:
+            raise self._fail(exc, "allreduce", rank) from None
+        self.bytes_moved += 2.0 * float(flat.nbytes) * (self.p - 1) / self.p
+        return arr
+
+    def allgather(self, rank, item, nbytes=0.0, ctx=0) -> Generator:
+        return blocking(self._allgather, rank, item, ctx, nbytes)
+
+    def _allgather(self, rank: int, item, tag, nbytes: float) -> List[Any]:
+        if self.p == 1:
+            return [item]
+        self._setup(rank)
+        pieces: List[Any] = [None] * self.p
+        pieces[rank] = item
+        cur_src, cur = rank, item
+        try:
+            for _ in range(self.p - 1):
+                self._next.send_obj(
+                    DATA, cur, {"op": "gather", "src": cur_src, "tag": str(tag)}
+                )
+                frame = self._prev.recv()
+                cur_src = int(frame.meta["src"])
+                cur = frame.obj()
+                pieces[cur_src] = cur
+        except (ConnectionLost, socket.timeout) as exc:
+            raise self._fail(exc, f"allgather({tag!r})", rank) from None
+        self.bytes_moved += 2.0 * float(nbytes) * (self.p - 1)
+        return pieces
+
+
+# -- parameter server ----------------------------------------------------------
+
+
+def _send_reply(conn: Conn, seq: int, reply: Tuple[dict, Optional[np.ndarray]]):
+    meta, arr = reply
+    try:
+        if arr is None:
+            conn.send(PS_REP, meta, seq=seq)
+        else:
+            conn.send_tensor(PS_REP, arr, meta, seq=seq)
+    except ConnectionLost:
+        pass  # the client vanished or reconnected; its retry resends
+
+
+def serve_shard(
+    listener: socket.socket,
+    sid: int,
+    xs: np.ndarray,
+    learning_rate: float,
+    crash_after: Optional[int],
+) -> None:
+    """One shard's serving loop: own ``xs`` (the slice), apply framed
+    requests in genuine arrival order, dedupe per-rank seq, answer STOP
+    with a STATS frame (final slice + counters).
+
+    Shared verbatim by the fork-mode shard child and the external
+    ``repro launch --role ps:K`` process.  Requests from every client
+    connection funnel through one queue, so arrival order — the staleness
+    the paper measures — is real scheduler/network nondeterminism.
+    """
+    inbox: "queue.Queue" = queue.Queue()
+    closing = threading.Event()
+
+    def _reader(conn: Conn) -> None:
+        while True:
+            try:
+                frame = conn.recv()
+            except (ConnectionLost, ProtocolError, OSError):
+                return
+            inbox.put((conn, frame))
+
+    def _acceptor() -> None:
+        while not closing.is_set():
+            try:
+                sock, _ = listener.accept()
+            except OSError:
+                return
+            conn = Conn(sock, "client")
+            threading.Thread(target=_reader, args=(conn,), daemon=True).start()
+
+    threading.Thread(target=_acceptor, daemon=True).start()
+    version = 0
+    pushes = 0
+    applies = 0
+    last_seq: Dict[int, int] = {}
+    last_reply: Dict[int, Tuple[dict, Optional[np.ndarray]]] = {}
+    while True:
+        conn, frame = inbox.get()
+        if frame.kind == STOP:
+            closing.set()
+            try:
+                listener.close()
+            except OSError:
+                pass
+            try:
+                conn.send_obj(STATS, {
+                    "sid": sid, "version": version, "pushes": pushes,
+                    "x": np.array(xs, copy=True),
+                })
+            except ConnectionLost:
+                pass
+            return
+        if frame.kind != PS_REQ:
+            continue
+        op = frame.meta.get("op")
+        rank = int(frame.meta.get("rank", -1))
+        seq = frame.seq
+        if last_seq.get(rank) == seq:
+            # duplicate of an already-applied request (client retried after
+            # a dropped/lost reply): answer from cache, do not re-apply
+            _send_reply(conn, seq, last_reply[rank])
+            continue
+        payload = frame.tensor() if len(frame.payload) else None
+        if op == "push":
+            if payload is not None:
+                xs -= learning_rate * payload
+            version += 1
+            pushes += 1
+            applies += 1
+            reply: Tuple[dict, Optional[np.ndarray]] = ({"version": version}, None)
+        elif op == "pull":
+            reply = ({"version": version}, np.array(xs, copy=True))
+        elif op == "elastic":
+            version += 1
+            applies += 1
+            if payload is None:
+                reply = ({"version": version, "none": True}, None)
+            else:
+                e = float(frame.meta.get("alpha", 0.0)) * (payload - xs)
+                xs += e
+                reply = ({"version": version}, e)
+        else:
+            reply = ({"error": f"unknown op {op!r}"}, None)
+        last_seq[rank] = seq
+        last_reply[rank] = reply
+        _send_reply(conn, seq, reply)
+        if crash_after is not None and applies >= crash_after:
+            # injected shard death: the reply to the fatal apply got out,
+            # the dedupe cache dies with us
+            os._exit(_PS_CRASH_EXIT)
+
+
+def _shard_child_main(ps: "NetParameterServer", sid: int,
+                      listeners: Dict[str, socket.socket]) -> None:
+    """Fork-mode shard process: keep our listener, drop the rest, serve."""
+    close_all(listeners, keep=(f"ps{sid}",))
+    _events.install(None)
+    lo, hi = ps.layout.bounds[sid]
+    xs = np.array(ps._x0[lo:hi], copy=True)
+    serve_shard(listeners[f"ps{sid}"], sid, xs,
+                ps.learning_rate, ps.crash_after.get(sid))
+
+
+def run_ps_role(spec: ClusterSpec, sid: int, timeout: float = 120.0) -> None:
+    """External-mode shard: bootstrap the slice from the coordinator's
+    WELCOME frame, then serve on our spec address until STOP."""
+    listener = bind_listener(spec.ps[sid])
+    ctrl = connect(spec.coordinator, "coordinator", timeout=timeout)
+    ctrl.send(HELLO, {"job": "ps", "task": sid, "pid": os.getpid()})
+    ctrl.settimeout(timeout)
+    welcome = ctrl.recv()
+    if welcome.kind != WELCOME:
+        raise ProtocolError(
+            f"ps{sid}: expected WELCOME from the coordinator, got "
+            f"frame kind {welcome.kind}"
+        )
+    meta = welcome.meta
+    xs = np.array(welcome.tensor(), copy=True)
+    ctrl.close()
+    serve_shard(listener, sid, xs, float(meta["lr"]), meta.get("crash_after"))
+
+
+class NetPSClient(PSClientLike):
+    """One rank's framed connection to every shard (same staleness
+    accounting and retry semantics as :class:`repro.runtime.MPPSClient`).
+
+    Reply loss — genuine (a dead shard, a cut connection) or injected (a
+    ``drop`` fault consuming a real PS_REP frame off the wire) — drives a
+    resend-with-backoff protocol: the client resends the *same* seq after
+    each backoff (the shard dedupes), discards stale replies from
+    abandoned attempts, reconnects on connection loss, and raises
+    :class:`RetryBudgetExhausted` when the budget runs out.
+    """
+
+    def __init__(self, ps: "NetParameterServer", rank: int) -> None:
+        self.ps = ps
+        self.rank = rank
+        self._seq = 0
+        self._op_ordinal = 0  # one push/pull/elastic call = one fault ordinal
+        self.staleness_samples: List[int] = []
+        self._pull_version = 0
+        self._pull_versions = [0] * ps.layout.n_shards
+        self._conns: Dict[int, Optional[Conn]] = {}
+
+    def _fault_gate(self) -> int:
+        """Per-op fault decisions: sleep injected delays, return drop count."""
+        ordinal = self._op_ordinal
+        self._op_ordinal += 1
+        plan = self.ps.plan
+        if plan is None or not plan:
+            return 0
+        delay = plan.ps_reply_delay(self.rank, ordinal)
+        if delay > 0.0:
+            self.ps.fault_counts["delay"] = self.ps.fault_counts.get("delay", 0) + 1
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                fault="delay",
+                seconds=delay,
+                ordinal=ordinal,
+            )
+            time.sleep(delay)
+        drops = plan.ps_reply_drops(self.rank, ordinal)
+        if drops:
+            self.ps.fault_counts["drop"] = (
+                self.ps.fault_counts.get("drop", 0) + drops
+            )
+            _events.emit(
+                _events.FAULT_INJECTED,
+                source=f"learner{self.rank}",
+                fault="drop",
+                count=drops,
+                ordinal=ordinal,
+            )
+        return drops
+
+    def _shard_conn(self, sid: int, wait: float) -> Conn:
+        conn = self._conns.get(sid)
+        if conn is None:
+            conn = connect(self.ps.addrs[sid], f"ps{sid}", timeout=wait)
+            self._conns[sid] = conn
+        return conn
+
+    def _send(self, sid: int, meta: dict, payload, seq: int,
+              wait: float) -> Optional[Conn]:
+        try:
+            conn = self._shard_conn(sid, wait)
+            if payload is None:
+                conn.send(PS_REQ, meta, seq=seq)
+            else:
+                conn.send_tensor(PS_REQ, payload, meta, seq=seq)
+            return conn
+        except ConnectionLost:
+            self._conns[sid] = None
+            return None
+
+    def _request(self, sid: int, op: str, payload, extra=None, drops: int = 0):
+        ps = self.ps
+        retry = ps.retry
+        self._seq += 1
+        seq = self._seq
+        meta: Dict[str, Any] = {"op": op, "rank": self.rank}
+        if extra is not None:
+            meta["alpha"] = extra
+        # the overall patience budget is spread over the send + every resend,
+        # so a genuinely dead shard exhausts the typed retry budget in about
+        # ps.timeout seconds total rather than hanging a bare recv
+        attempts_allowed = retry.max_retries + 1
+        per_wait = max(0.05, ps.timeout / attempts_allowed)
+        attempt = 0  # resends performed so far
+        waited = 0.0
+        conn = self._send(sid, meta, payload, seq, per_wait)
+        while True:
+            frame = None
+            if conn is not None:
+                try:
+                    conn.settimeout(per_wait)
+                    frame = conn.recv()
+                except socket.timeout:
+                    frame = None
+                except ConnectionLost:
+                    self._conns[sid] = None
+                    conn = None
+            else:
+                # unreachable shard: burn this attempt's wait so the budget
+                # drains at the same rate as a silent one
+                time.sleep(per_wait)
+            if frame is None:
+                waited += per_wait
+                if attempt >= retry.max_retries:
+                    raise RetryBudgetExhausted(
+                        self.rank,
+                        attempt,
+                        f"parameter-server shard {sid} gave no reply to "
+                        f"{op!r} after {attempt + 1} attempts "
+                        f"(~{waited:.1f}s waited); learner{self.rank} "
+                        "exhausted its retry budget and the run deadlocked",
+                    ) from None
+                time.sleep(retry.backoff(attempt))
+                attempt += 1
+                ps.retries += 1
+                conn = self._send(sid, meta, payload, seq, per_wait)
+                continue
+            if frame.kind != PS_REP or frame.seq < seq:
+                # stale reply from an earlier, abandoned attempt — discard
+                continue
+            if drops > 0:
+                # injected frame loss: the genuine PS_REP was read off the
+                # wire and thrown away; drive the real retry machinery
+                drops -= 1
+                if attempt >= retry.max_retries:
+                    raise RetryBudgetExhausted(
+                        self.rank,
+                        attempt,
+                        f"parameter-server shard {sid}: replies to {op!r} "
+                        f"kept vanishing on the wire; learner{self.rank} "
+                        f"exhausted its retry budget after {attempt + 1} "
+                        "attempts and the run deadlocked",
+                    )
+                time.sleep(retry.backoff(attempt))
+                attempt += 1
+                ps.retries += 1
+                conn = self._send(sid, meta, payload, seq, per_wait)
+                continue
+            if "error" in frame.meta:
+                raise ValueError(frame.meta["error"])
+            return frame
+
+    def push(self, grad: Optional[np.ndarray]) -> Generator:
+        return blocking(self._push, grad)
+
+    def _push(self, grad: Optional[np.ndarray]) -> int:
+        ps = self.ps
+        drops = self._fault_gate()
+        version_now = 0
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            payload = None if grad is None else np.ascontiguousarray(grad[lo:hi])
+            frame = self._request(sid, "push", payload, drops=drops)
+            drops = 0  # the op-level fault applies to the first shard leg
+            version_now += int(frame.meta["version"])
+            ps.bytes_moved += ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        staleness = max(0, version_now - self._pull_version - ps.layout.n_shards)
+        self.staleness_samples.append(staleness)
+        return staleness
+
+    def pull(self) -> Generator:
+        return blocking(self._pull)
+
+    def _pull(self) -> np.ndarray:
+        ps = self.ps
+        drops = self._fault_gate()
+        out = np.empty(ps.size, dtype=ps.dtype)
+        version = 0
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            frame = self._request(sid, "pull", None, drops=drops)
+            drops = 0
+            v = int(frame.meta["version"])
+            version += v
+            self._pull_versions[sid] = v
+            out[lo:hi] = frame.tensor()
+            ps.bytes_moved += ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        self._pull_version = version
+        return out
+
+    def elastic(self, x_local: Optional[np.ndarray], alpha: float) -> Generator:
+        return blocking(self._elastic, x_local, alpha)
+
+    def _elastic(self, x_local: Optional[np.ndarray], alpha: float) -> np.ndarray:
+        ps = self.ps
+        drops = self._fault_gate()
+        out = np.empty(ps.size, dtype=ps.dtype)
+        for sid, (lo, hi) in enumerate(ps.layout.bounds):
+            payload = (
+                None if x_local is None else np.ascontiguousarray(x_local[lo:hi])
+            )
+            frame = self._request(sid, "elastic", payload, extra=alpha, drops=drops)
+            drops = 0
+            self._pull_versions[sid] = int(frame.meta["version"])
+            if not frame.meta.get("none"):
+                out[lo:hi] = frame.tensor()
+            ps.bytes_moved += 2.0 * ps.layout.slice_bytes(sid, ps.dtype.itemsize)
+        return out
+
+
+class NetParameterServer(ParameterServerHandle):
+    """Sharded PS where each shard is a TCP server process.
+
+    Fork mode: shards are forked before the workers, each inheriting its
+    pre-bound listener and the initial parameter copy.  External mode: the
+    handle is address-book-only; shards run elsewhere (:func:`run_ps_role`)
+    and bootstrap from the coordinator.  Shutdown is uniform: the owner
+    connects to each shard, sends STOP, and harvests a STATS frame (final
+    slice + version/push counters) to assemble the final vector.
+    """
+
+    def __init__(self, ctx, p: int, size: int, n_shards: int,
+                 learning_rate: float, dtype, timeout: float,
+                 client_only: bool = False,
+                 addrs: Tuple[str, ...] = ()) -> None:
+        self._ctx = ctx
+        self.p = p
+        self.size = int(size)
+        self._layout = ShardLayout.even(size, n_shards)
+        self.learning_rate = learning_rate
+        self.dtype = np.dtype(dtype)
+        self.timeout = timeout
+        self.client_only = client_only
+        self.addrs: Tuple[str, ...] = tuple(addrs)
+        self.bytes_moved = 0.0  # per-process accumulator after fork
+        self.retries = 0        # per-process resend counter (client side)
+        self.fault_counts: Dict[str, int] = {}  # per-process injection counts
+        self.plan: Optional[FaultPlan] = None
+        self.retry = RetryPolicy()
+        self.crash_after: Dict[int, int] = {}
+        self.shard_restarts = 0  # net never restarts shards (capability error)
+        self.events: List[Tuple[str, str, float]] = []
+        self._x0 = np.zeros(self.size, dtype=self.dtype)
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        self._pushes_applied = 0
+        self.versions = [0] * n_shards
+        self._x_final: Optional[np.ndarray] = None
+        self._down = False
+
+    # -- handle surface ------------------------------------------------------
+
+    @property
+    def x(self) -> np.ndarray:
+        if self._x_final is not None:
+            return self._x_final
+        return self._x0
+
+    @property
+    def layout(self) -> ShardLayout:
+        return self._layout
+
+    @property
+    def pushes_applied(self) -> int:
+        return self._pushes_applied
+
+    def set_params(self, x0: np.ndarray) -> None:
+        if x0.shape != (self.size,):
+            raise ValueError(f"shape mismatch: {x0.shape} vs ({self.size},)")
+        self._x0[:] = x0
+
+    def client(self, rank: int) -> NetPSClient:
+        return NetPSClient(self, rank)
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan, retry: RetryPolicy,
+                       recovery: str) -> None:
+        self.plan = plan
+        self.retry = retry
+        self.crash_after = {
+            sid: push
+            for sid in range(self._layout.n_shards)
+            if (push := plan.ps_crash_push(sid)) is not None
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self, addrs: Tuple[str, ...],
+              listeners: Dict[str, socket.socket]) -> None:
+        """Fork one shard process per listener (fork mode, pre-worker-fork)."""
+        if self.client_only or self._procs:
+            return
+        self.addrs = tuple(addrs)
+        for sid in range(self._layout.n_shards):
+            proc = self._ctx.Process(
+                target=_shard_child_main, args=(self, sid, listeners),
+                name=f"repro-ps{sid}", daemon=True,
+            )
+            self._procs.append(proc)
+            proc.start()
+        # the children own the listening fds now; the parent's copies must
+        # go, or a dead shard's port would still accept (and strand) clients
+        for sid in range(self._layout.n_shards):
+            try:
+                listeners[f"ps{sid}"].close()
+            except OSError:
+                pass
+
+    def shutdown(self) -> None:
+        """Stop shards, harvest their stats frames, assemble the final x."""
+        if self.client_only or self._down:
+            return
+        self._down = True
+        xf = np.array(self._x0, copy=True)
+        for sid, addr in enumerate(self.addrs):
+            try:
+                conn = connect(addr, f"ps{sid}", timeout=2.0)
+                conn.send(STOP)
+                conn.settimeout(_JOIN_GRACE)
+                stats = conn.recv().obj()
+                conn.close()
+            except (ConnectionLost, socket.timeout, ProtocolError):
+                # a crashed shard: its applies since start are lost and its
+                # slice of the final vector stays at the initial copy
+                self.fault_counts["ps_crash"] = (
+                    self.fault_counts.get("ps_crash", 0) + 1
+                )
+                continue
+            self.versions[sid] = int(stats["version"])
+            self._pushes_applied += int(stats["pushes"])
+            lo, hi = self._layout.bounds[sid]
+            xf[lo:hi] = stats["x"]
+        self._x_final = xf
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_GRACE)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_GRACE)
+        self._procs = []
+
+    def __del__(self):  # safety net; normal path is NetBackend.run's finally
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+
+# -- coordinator control plane -------------------------------------------------
+
+
+class _FrameSink(_events.Sink):
+    """Worker-side event sink: one EVENT frame per record on the control
+    connection (the send lock makes it safe beside the heartbeat thread)."""
+
+    def __init__(self, conn: Conn) -> None:
+        self._conn = conn
+
+    def emit(self, event: _events.Event) -> None:
+        try:
+            self._conn.send(EVENT, event.to_dict())
+        except ConnectionLost:
+            pass
+
+
+class _ControlPlane:
+    """Coordinator side of the bootstrap handshake and run telemetry.
+
+    One accept thread hands each control connection to a reader thread.
+    Workers HELLO and then stream HEARTBEAT/EVENT/RESULT/ERROR frames;
+    external PS shards HELLO to collect their WELCOME (slice bootstrap).
+    When every expected role has arrived, WELCOME goes out to all workers
+    at once — the rendezvous barrier.  All shared state mutates under one
+    condition variable the drain loop and monitor wait on.
+    """
+
+    def __init__(self, listener: socket.socket, p: int, expect_ps: int,
+                 bus, ps_init: Optional[Callable] = None) -> None:
+        self.listener = listener
+        self.p = p
+        self.expect_ps = expect_ps
+        self.bus = bus
+        self.ps_init = ps_init
+        self.cond = threading.Condition()
+        self.conns: Dict[int, Conn] = {}
+        self.ever_connected: set = set()
+        self.last_seen: Dict[int, float] = {}
+        self.results: Dict[int, dict] = {}
+        self.errors: Dict[int, dict] = {}
+        self.finished: set = set()
+        self.dead: Dict[int, float] = {}  # rank -> detection latency
+        self._ps_ready = 0
+        self._welcomed = False
+        self._closing = False
+
+    def start(self) -> "_ControlPlane":
+        self.listener.settimeout(0.25)
+        threading.Thread(
+            target=self._accept_loop, name="net-coordinator", daemon=True
+        ).start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                sock, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn = Conn(sock, "peer")
+            threading.Thread(
+                target=self._serve_conn, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_conn(self, conn: Conn) -> None:
+        try:
+            conn.settimeout(30.0)
+            hello = conn.recv()
+            conn.settimeout(None)
+        except (ConnectionLost, ProtocolError, socket.timeout):
+            conn.close()
+            return
+        if hello.kind != HELLO:
+            conn.close()
+            return
+        job = hello.meta.get("job")
+        task = int(hello.meta.get("task", -1))
+        if job == "ps":
+            # external shard bootstrap: hand it its slice, then let it go —
+            # shards serve learners on their own listener, not through us
+            if self.ps_init is not None:
+                meta, x0 = self.ps_init(task)
+                try:
+                    conn.send_tensor(WELCOME, x0, meta)
+                except ConnectionLost:
+                    pass
+            conn.close()
+            with self.cond:
+                self._ps_ready += 1
+                self._maybe_welcome()
+            return
+        if job != "worker" or not (0 <= task < self.p):
+            conn.close()
+            return
+        conn.peer = f"learner{task}"
+        with self.cond:
+            self.conns[task] = conn
+            self.ever_connected.add(task)
+            self.last_seen[task] = time.monotonic()
+            self._maybe_welcome()
+        self._reader(task, conn)
+
+    def _maybe_welcome(self) -> None:  # caller holds self.cond
+        if (
+            not self._welcomed
+            and len(self.conns) == self.p
+            and self._ps_ready >= self.expect_ps
+        ):
+            self._welcomed = True
+            for rank, conn in self.conns.items():
+                try:
+                    conn.send(
+                        WELCOME, {"events": self.bus is not None, "rank": rank}
+                    )
+                except ConnectionLost:
+                    pass
+            self.cond.notify_all()
+
+    def _reader(self, rank: int, conn: Conn) -> None:
+        while True:
+            try:
+                frame = conn.recv()
+            except (ConnectionLost, ProtocolError, OSError):
+                # EOF comes only after every buffered frame (incl. a final
+                # RESULT) was delivered, so finish-before-death ordering holds
+                with self.cond:
+                    self.conns.pop(rank, None)
+                    self.cond.notify_all()
+                conn.close()
+                return
+            with self.cond:
+                self.last_seen[rank] = time.monotonic()
+            if frame.kind == HEARTBEAT:
+                continue
+            if frame.kind == EVENT:
+                if self.bus is not None:
+                    try:
+                        self.bus.republish(_events.Event.from_dict(frame.meta))
+                    except Exception:
+                        continue  # torn/foreign record; keep the reader alive
+            elif frame.kind == RESULT:
+                with self.cond:
+                    self.results[rank] = frame.obj()
+                    self.finished.add(rank)
+                    self.cond.notify_all()
+            elif frame.kind == ERROR:
+                with self.cond:
+                    self.errors[rank] = frame.obj()
+                    self.finished.add(rank)
+                    self.cond.notify_all()
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        with self.cond:
+            conns = list(self.conns.values())
+            self.conns.clear()
+        for conn in conns:
+            conn.close()
+
+
+# -- the worker process --------------------------------------------------------
+
+
+def _worker_body(trainer, lid: int) -> None:
+    """Drive one learner to completion: HELLO → WELCOME → heartbeats →
+    ``_learner_proc`` → RESULT (or ERROR) on the control connection.
+
+    Runs inside a fork-mode child or an external ``--role worker:K``
+    process — the only difference is how the trainer got here.
+    """
+    backend = trainer.backend
+    spec: ClusterSpec = backend._spec
+    if backend._t0 is None:
+        backend._t0 = time.perf_counter()
+    ctrl = connect(spec.coordinator, "coordinator", timeout=backend.timeout)
+    ctrl.send(HELLO, {"job": "worker", "task": lid, "pid": os.getpid()})
+    ctrl.settimeout(backend.timeout)
+    welcome = ctrl.recv()
+    if welcome.kind != WELCOME:
+        raise ProtocolError(
+            f"learner{lid}: expected WELCOME from the coordinator, got "
+            f"frame kind {welcome.kind}"
+        )
+    ctrl.settimeout(None)
+    # the forked child inherits the parent's ambient bus (and any open sink
+    # file descriptors) — swap it for one that frames each event onto the
+    # control connection; the coordinator republishes in authoritative order
+    if welcome.meta.get("events"):
+        _events.install(
+            _events.EventBus(
+                sinks=[_FrameSink(ctrl)],
+                clock=backend.clock,
+                keep_snapshot=False,
+            )
+        )
+    else:
+        _events.install(None)
+    hb_stop = threading.Event()
+
+    def _beat() -> None:
+        while not hb_stop.wait(_HEARTBEAT_PERIOD):
+            try:
+                ctrl.send(HEARTBEAT)
+            except ConnectionLost:
+                return
+
+    threading.Thread(target=_beat, name="net-heartbeat", daemon=True).start()
+    t0 = time.perf_counter()
+    try:
+        for command in trainer._learner_proc(lid):
+            raise RuntimeError(
+                f"trainer yielded simulator command {command!r} on the net "
+                "backend; route it through the repro.runtime interfaces"
+            )
+        wall = time.perf_counter() - t0
+        ps = backend._ps
+        ps_bytes = ps.bytes_moved if ps is not None else 0.0
+        data = {
+            "records": trainer.tape.records if lid == 0 else None,
+            "samples": trainer.tape.samples,
+            "epoch": trainer.tape.epoch,
+            "tape_rank": trainer.tape.rank_summary(),
+            "flat": np.array(trainer.workloads[lid].flat.data, copy=True)
+            if lid == 0
+            else None,
+            "export": trainer._worker_export(lid),
+            "failed_at": None if backend._failure is None else backend._failure[1],
+            "comm_seconds": backend._comm_seconds,
+            "wall_seconds": wall,
+            "bytes": backend.collective.bytes_moved + ps_bytes,
+            "retries": ps.retries if ps is not None else 0,
+            "fault_counts": dict(
+                ps.fault_counts if ps is not None else {},
+                **backend._worker_fault_counts,
+            ),
+        }
+        ctrl.send_obj(RESULT, data)
+    except BaseException as exc:  # noqa: BLE001 - must reach the coordinator
+        failed_at = None if backend._failure is None else backend._failure[1]
+        ps = backend._ps
+        try:
+            ctrl.send_obj(ERROR, {
+                "error": f"{type(exc).__name__}: {exc}",
+                "failed_at": failed_at,
+                "learner_id": getattr(exc, "learner_id", None),
+                "step": getattr(exc, "step", None),
+                "retry_exhausted": isinstance(exc, RetryBudgetExhausted),
+                "attempts": getattr(exc, "attempts", 0),
+                "retries": ps.retries if ps is not None else 0,
+                "fault_counts": dict(
+                    ps.fault_counts if ps is not None else {},
+                    **backend._worker_fault_counts,
+                ),
+            })
+        except ConnectionLost:
+            pass  # coordinator already gone; its monitor saw us die
+    finally:
+        hb_stop.set()
+        backend.collective.teardown_rank()
+        ctrl.close()
+
+
+def _worker_child_main(trainer, lid: int) -> None:
+    """Fork-mode entry: drop listeners we don't own, then run the body."""
+    backend = trainer.backend
+    close_all(backend._listeners, keep=(f"worker{lid}",))
+    _worker_body(trainer, lid)
+
+
+# -- the backend ---------------------------------------------------------------
+
+
+class NetBackend(Backend):
+    """Distributed execution over TCP: one OS process per learner/shard."""
+
+    name = "net"
+
+    def __init__(self, timeout: float = 120.0, mode: str = "fork",
+                 spec: Optional[ClusterSpec] = None,
+                 task: Optional[int] = None,
+                 host: str = "127.0.0.1") -> None:
+        if mode not in ("fork", "coordinator", "worker"):
+            raise ValueError(
+                f"net backend mode must be fork/coordinator/worker, got {mode!r}"
+            )
+        if mode == "fork" and "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "net backend's local cluster needs the 'fork' start method "
+                "(workers inherit the constructed trainer); use `repro "
+                "launch` with explicit roles on this platform"
+            )
+        self._ctx = (
+            multiprocessing.get_context("fork")
+            if "fork" in multiprocessing.get_all_start_methods()
+            else None
+        )
+        self.timeout = timeout
+        self.mode = mode
+        self.host = host
+        self._spec = spec
+        self._task = task
+        self.collective: Optional[NetCollective] = None
+        self._trainer = None
+        self._ps: Optional[NetParameterServer] = None
+        self._seed_seq: Optional[np.random.SeedSequence] = None
+        self._failure = None  # (lid, step) noted in the worker that died
+        self._comm_seconds = 0.0  # per-process accumulator after fork
+        self._t0: Optional[float] = None
+        self._duration = 0.0
+        self._plan: Optional[FaultPlan] = None
+        self._retry = RetryPolicy()
+        self._recovery = "fail_fast"
+        self._detections: Dict[int, float] = {}
+        self._fault_events: List[Tuple[str, str, float]] = []
+        self._fault_counts: Dict[str, int] = {}
+        self._worker_fault_counts: Dict[str, int] = {}  # per-process after fork
+        self._retries_total = 0
+        self._rank_tapes: List[Dict[str, Any]] = []
+        self._listeners: Dict[str, socket.socket] = {}
+        self._ext_alive: Dict[int, Callable[[], bool]] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def bind(self, trainer) -> None:
+        if self._trainer is not None:
+            raise RuntimeError("a backend instance drives exactly one trainer")
+        self._trainer = trainer
+        self.sample_scale = trainer.config.p
+        self._seed_seq = np.random.SeedSequence(trainer.config.seed)
+        self.collective = NetCollective(trainer.config.p, self.timeout)
+        if self._spec is not None:
+            self.collective.install(self._spec, {})
+
+    def clock(self) -> float:
+        if self._t0 is None:
+            return 0.0
+        return time.perf_counter() - self._t0
+
+    def spawn_rngs(self, n: int) -> List[np.random.Generator]:
+        return [np.random.default_rng(s) for s in self._seed_seq.spawn(n)]
+
+    # -- per-step primitives ------------------------------------------------
+
+    def compute(self, lid: int, flops: float, scale: float = 1.0) -> Generator:
+        # real math *is* the compute cost; straggle scale is charged by the
+        # trainer through fault_sleep (a measured real sleep), not here
+        return blocking(_noop)
+
+    def comm(self, lid: int, coroutine: Generator) -> Generator:
+        t0 = time.perf_counter()
+        result = yield from coroutine
+        self._comm_seconds += time.perf_counter() - t0
+        return result
+
+    def make_ps(self, size, n_shards, learning_rate, dtype) -> NetParameterServer:
+        if self._ps is not None:
+            raise RuntimeError("net backend supports one parameter server per run")
+        self._ps = NetParameterServer(
+            self._ctx, self._trainer.config.p, size, n_shards,
+            learning_rate, dtype, self.timeout,
+            client_only=self.mode == "worker",
+            addrs=self._spec.ps if self._spec is not None else (),
+        )
+        if self._plan is not None:
+            self._ps.install_faults(self._plan, self._retry, self._recovery)
+        return self._ps
+
+    def should_record(self, lid: int) -> bool:
+        return lid == 0  # only rank 0's tape survives the process boundary
+
+    def note_failure(self, lid: int, step: int) -> None:
+        if self._failure is None:
+            self._failure = (lid, step)
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def install_faults(self, plan, retry=None, recovery: str = "fail_fast") -> None:
+        if recovery == "restart_shard":
+            raise BackendCapabilityError(
+                "net",
+                "restart_shard recovery is not available (shard snapshots "
+                "are process-local over sockets); use recovery=elastic or "
+                "fail_fast, or run on the mp backend",
+            )
+        if recovery == "elastic" and self.mode != "fork":
+            raise BackendCapabilityError(
+                "net",
+                "elastic recovery needs the local fork cluster (survivors "
+                "are respawned with fresh ports); an externally-launched "
+                "cluster cannot be respawned — use recovery=fail_fast",
+            )
+        self._plan = plan
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._recovery = recovery
+        if self._ps is not None:
+            self._ps.install_faults(self._plan, self._retry, self._recovery)
+
+    def fault_crash(self, lid: int, step: int) -> bool:
+        """Planned crash on the real substrate: the worker process dies, no
+        farewell — detection is the coordinator's connection-loss monitor."""
+        os._exit(_CRASH_EXIT)
+        return True  # pragma: no cover - unreachable
+
+    def fault_sleep(self, lid: int, seconds: float) -> Generator:
+        self._worker_fault_counts["straggle"] = (
+            self._worker_fault_counts.get("straggle", 0) + 1
+        )
+        _events.emit(
+            _events.FAULT_INJECTED,
+            source=f"learner{lid}",
+            fault="straggle",
+            seconds=seconds,
+        )
+        return blocking(time.sleep, seconds)
+
+    def respawn(self) -> "NetBackend":
+        if self.mode != "fork":
+            raise BackendCapabilityError(
+                "net", "only the local fork cluster can be respawned"
+            )
+        return NetBackend(timeout=self.timeout, host=self.host)
+
+    def attach_processes(self, alive: Dict[int, Callable[[], bool]]) -> None:
+        """External mode: per-rank liveness probes for launcher-spawned
+        processes (``popen.poll() is None``); manual clusters rely on
+        heartbeat staleness alone."""
+        self._ext_alive = dict(alive)
+
+    # -- the run driver -----------------------------------------------------
+
+    def run(self, trainer) -> RunStats:
+        if self.mode == "worker":
+            # an externally-launched rank: trainer.train() landed here via
+            # `repro launch --role worker:K`; drive the learner body (HELLO,
+            # WELCOME, heartbeats, RESULT/ERROR) and exit the process — the
+            # coordinator, not this process, assembles the TrainResult
+            _worker_body(trainer, self._task)
+            raise SystemExit(0)
+        p = trainer.config.p
+        n_shards = self._ps.layout.n_shards if self._ps is not None else 0
+        fork_mode = self.mode == "fork"
+        if fork_mode:
+            spec, listeners = allocate_loopback(p, n_shards, host=self.host)
+            self._spec, self._listeners = spec, listeners
+            self.collective.install(
+                spec, {i: listeners[f"worker{i}"] for i in range(p)}
+            )
+        else:
+            spec = self._spec
+            if spec is None:
+                raise RuntimeError("coordinator mode needs a cluster spec")
+            if spec.p != p or spec.n_shards != n_shards:
+                raise RuntimeError(
+                    f"cluster spec shape ({spec.p} workers, {spec.n_shards} "
+                    f"ps) does not match the scenario (p={p}, {n_shards} "
+                    "shards)"
+                )
+            self._listeners = {"coordinator": bind_listener(spec.coordinator)}
+        if self._ps is not None:
+            self._ps.addrs = tuple(spec.ps)
+            if fork_mode:
+                self._ps.start(spec.ps, listeners)
+
+        bus = _events.active_bus()
+        ps_init = None
+        if not fork_mode and self._ps is not None:
+            ps = self._ps
+
+            def ps_init(sid: int):
+                lo, hi = ps.layout.bounds[sid]
+                return (
+                    {
+                        "lr": float(ps.learning_rate),
+                        "lo": int(lo),
+                        "crash_after": ps.crash_after.get(sid),
+                    },
+                    np.ascontiguousarray(ps._x0[lo:hi]),
+                )
+
+        ctrl = _ControlPlane(
+            self._listeners["coordinator"], p,
+            expect_ps=0 if fork_mode else n_shards,
+            bus=bus, ps_init=ps_init,
+        ).start()
+        self._t0 = time.perf_counter()
+        planned = self._plan.crash_learners() if self._plan is not None else {}
+        payloads: dict = {}
+        errors: dict = {}
+        procs: List[multiprocessing.process.BaseProcess] = []
+        monitor_stop = threading.Event()
+
+        def _death_events(rank: int, latency: float) -> None:
+            self._detections[rank] = latency
+            now = self.clock()
+            self._fault_events.append(
+                (trainer.learner_names[rank], "fault", now)
+            )
+            # the dying worker could not flush its own stream (os._exit /
+            # kill), so the coordinator emits the crash + detection pair
+            if rank in planned:
+                _events.emit(
+                    _events.FAULT_INJECTED,
+                    source=trainer.learner_names[rank],
+                    t=now,
+                    fault="crash",
+                    step=planned[rank],
+                )
+            _events.emit(
+                _events.FAILURE_DETECTED,
+                t=now,
+                learner=rank,
+                step=planned.get(rank),
+                detection_seconds=latency,
+                reason=f"control connection to learner{rank} lost without "
+                "a farewell",
+            )
+
+        def _alive(rank: int) -> Optional[bool]:
+            if fork_mode:
+                return procs[rank].is_alive() if rank < len(procs) else None
+            probe = self._ext_alive.get(rank)
+            return probe() if probe is not None else None
+
+        def _monitor() -> None:
+            start = time.monotonic()
+            while not monitor_stop.is_set():
+                now = time.monotonic()
+                deaths: List[Tuple[int, float]] = []
+                with ctrl.cond:
+                    for rank in range(p):
+                        if rank in ctrl.finished or rank in ctrl.dead:
+                            continue
+                        seen = ctrl.last_seen.get(rank, start)
+                        connected = rank in ctrl.ever_connected
+                        lost = connected and rank not in ctrl.conns
+                        # a dead process whose connection still drains is
+                        # left to the `lost` branch: EOF arrives only after
+                        # any final RESULT frame was read, so a clean finish
+                        # is never misread as a death
+                        died_early = (
+                            not connected and _alive(rank) is False
+                        )
+                        stale = now - seen > _STALE_AFTER
+                        if lost or died_early or stale:
+                            deaths.append((rank, now - seen))
+                            ctrl.dead[rank] = now - seen
+                    if deaths:
+                        ctrl.cond.notify_all()
+                for rank, latency in deaths:
+                    _death_events(rank, latency)
+                monitor_stop.wait(_POLL)
+
+        monitor = threading.Thread(
+            target=_monitor, name="net-monitor", daemon=True
+        )
+        try:
+            if fork_mode:
+                procs = [
+                    self._ctx.Process(
+                        target=_worker_child_main, args=(trainer, lid),
+                        name=trainer.learner_names[lid], daemon=True,
+                    )
+                    for lid in range(p)
+                ]
+                for proc in procs:
+                    proc.start()
+                # children own the ring/shard listening fds now; drop the
+                # parent's copies so a dead worker's port refuses, not hangs
+                close_all(self._listeners, keep=("coordinator",))
+            monitor.start()
+            # drain results as they arrive; each payload buys the stragglers
+            # a fresh patience budget, and once every still-awaited rank is
+            # known dead a short grace ends the wait (mirrors MPBackend.run)
+            expected = set(range(p))
+            deadline = time.monotonic() + self.timeout + 10.0
+            dead_grace: Optional[float] = None
+            while expected:
+                with ctrl.cond:
+                    got = [r for r in expected if r in ctrl.finished]
+                    if not got:
+                        ctrl.cond.wait(0.25)
+                        got = [r for r in expected if r in ctrl.finished]
+                    for rank in got:
+                        if rank in ctrl.results:
+                            payloads[rank] = ctrl.results[rank]
+                        else:
+                            errors[rank] = ctrl.errors[rank]
+                    awaited_dead = all(r in ctrl.dead for r in expected if r not in got)
+                for rank in got:
+                    expected.discard(rank)
+                    deadline = time.monotonic() + self.timeout + 10.0
+                if got:
+                    dead_grace = None
+                    continue
+                now = time.monotonic()
+                if now > deadline:
+                    break
+                if expected and awaited_dead:
+                    if dead_grace is None:
+                        dead_grace = now + _DEAD_GRACE
+                    elif now > dead_grace:
+                        break
+                else:
+                    dead_grace = None
+            self._duration = time.perf_counter() - self._t0
+            for proc in procs:
+                proc.join(timeout=_JOIN_GRACE)
+        finally:
+            monitor_stop.set()
+            if monitor.is_alive():
+                monitor.join(timeout=2.0)
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=_JOIN_GRACE)
+            if self._ps is not None:
+                self._ps.shutdown()
+            ctrl.close()
+            close_all(self._listeners)
+            self._listeners = {}
+
+        return self._conclude(trainer, p, payloads, errors)
+
+    # -- post-run bookkeeping -------------------------------------------------
+
+    def _conclude(self, trainer, p: int, payloads: dict, errors: dict) -> RunStats:
+        for lid in sorted(payloads):
+            failed_at = payloads[lid]["failed_at"]
+            if failed_at is not None:
+                self.note_failure(lid, failed_at)
+        for data in list(payloads.values()) + list(errors.values()):
+            self._retries_total += int(data.get("retries", 0) or 0)
+            for kind, n in (data.get("fault_counts") or {}).items():
+                self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
+        if self._ps is not None:
+            for kind, n in self._ps.fault_counts.items():
+                self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
+            self._fault_events.extend(self._ps.events)
+
+        missing = [
+            lid for lid in range(p) if lid not in payloads and lid not in errors
+        ]
+        # a worker that vanished without any payload was killed outright; a
+        # planned crash is labelled from the plan, anything else from the
+        # connection wreckage
+        planned = self._plan.crash_learners() if self._plan is not None else {}
+        for lid in missing:
+            if self._failure is None:
+                self.note_failure(lid, planned.get(lid, -1))
+            self._fault_counts["crash"] = self._fault_counts.get("crash", 0) + 1
+
+        if errors or missing:
+            if self._failure is not None:
+                lid, step = self._failure
+                at = f"after {step} local steps" if step >= 0 else "mid-run"
+                reason = (
+                    f"learner{lid} died {at} (injected failure); its "
+                    "connections dropped and the surviving workers "
+                    "deadlocked at the next exchange"
+                )
+                failure = LearnerFailure(lid, step if step >= 0 else None, reason)
+                failure.detection_seconds = self._detections.get(lid)
+                if lid not in self._detections:
+                    # self-declared death (fail_at): the monitor never fired,
+                    # so the detection event is emitted here
+                    _events.emit(
+                        _events.FAILURE_DETECTED,
+                        t=self.clock(),
+                        learner=lid,
+                        step=step if step >= 0 else None,
+                        detection_seconds=None,
+                        reason=reason,
+                    )
+                raise failure
+            exhausted = [
+                lid for lid in sorted(errors)
+                if errors[lid].get("retry_exhausted")
+            ]
+            if exhausted:
+                lid = exhausted[0]
+                reason = (
+                    f"learner{lid} exhausted its parameter-server retry "
+                    f"budget ({errors[lid]['error']}); the run deadlocked"
+                )
+                _events.emit(
+                    _events.FAILURE_DETECTED,
+                    t=self.clock(),
+                    learner=lid,
+                    step=None,
+                    detection_seconds=None,
+                    reason=reason,
+                )
+                raise RetryBudgetExhausted(
+                    lid, int(errors[lid].get("attempts", 0)), reason
+                )
+            detail = "; ".join(
+                f"learner{lid}: {errors[lid]['error']}" for lid in sorted(errors)
+            )
+            if missing:
+                sep = "; " if detail else ""
+                detail = f"{detail}{sep}no result from workers {missing}"
+            _events.emit(
+                _events.FAILURE_DETECTED,
+                t=self.clock(),
+                learner=None,
+                reason=f"net backend run failed ({detail})",
+            )
+            raise RuntimeError(f"net backend run failed ({detail})")
+        data0 = payloads[0]
+        trainer.tape.records = data0["records"]
+        trainer.tape.samples = data0["samples"]
+        trainer.tape.epoch = data0["epoch"]
+        trainer.workloads[0].flat.set_data(data0["flat"])
+        for lid in sorted(payloads):
+            trainer._worker_import(lid, payloads[lid]["export"])
+        self._rank_tapes = [
+            dict(payloads[lid]["tape_rank"], rank=lid) for lid in sorted(payloads)
+        ]
+
+        comm = [payloads[lid]["comm_seconds"] for lid in sorted(payloads)]
+        walls = [payloads[lid]["wall_seconds"] for lid in sorted(payloads)]
+        mean_comm = float(np.mean(comm)) if comm else 0.0
+        mean_wall = float(np.mean(walls)) if walls else 0.0
+        extras = {
+            "total_bytes": float(sum(payloads[lid]["bytes"] for lid in payloads)),
+            "comm_seconds_per_learner": mean_comm,
+            "compute_seconds_per_learner": max(0.0, mean_wall - mean_comm),
+            "comm_fraction": (mean_comm / mean_wall) if mean_wall > 0 else 0.0,
+            "workers": p,
+            "rank_tapes": self._rank_tapes,
+            "total_samples": int(sum(rt["samples"] for rt in self._rank_tapes)),
+            "cluster_spec": self._spec.to_json() if self._spec else None,
+        }
+        if self._retries_total:
+            extras["ps_retries"] = self._retries_total
+        return RunStats(duration=self._duration, extras=extras)
+
+    def publish_fault_obs(self, trainer, sess) -> None:
+        """Fault/detection metrics alone — safe to emit from a failed run."""
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        for kind, n in sorted(self._fault_counts.items()):
+            sess.registry.counter(
+                "faults.injected_total", kind=kind, **labels
+            ).inc(n)
+        if self._detections:
+            sess.registry.counter("faults.detected_total", **labels).inc(
+                len(self._detections)
+            )
+            hist = sess.registry.histogram("faults.detection_seconds", **labels)
+            for latency in self._detections.values():
+                hist.observe(latency)
+        if self._retries_total:
+            sess.registry.counter("faults.retries_total", **labels).inc(
+                self._retries_total
+            )
+
+    def publish_obs(self, trainer, sess, wall: float) -> None:
+        self.publish_fault_obs(trainer, sess)
+        labels = dict(
+            algo=trainer.algorithm, p=trainer.config.p, problem=trainer.problem.name
+        )
+        for tape in self._rank_tapes:
+            sess.registry.counter(
+                "train.samples_total", rank=tape["rank"], **labels
+            ).inc(tape["samples"])
+            sess.registry.counter(
+                "train.batches_total", rank=tape["rank"], **labels
+            ).inc(tape["batches"])
+        if trainer._obs is not None:
+            trainer._obs.finish(trainer.tape.samples, self._duration, wall)
+        spans = [
+            Span(actor, kind, t, t) for actor, kind, t in self._fault_events
+        ]
+        sess.add_run(
+            f"{trainer.algorithm} {trainer.problem.name} "
+            f"p={trainer.config.p} (net)",
+            spans,
+            [],
+            self._duration,
+        )

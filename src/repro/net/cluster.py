@@ -1,0 +1,189 @@
+"""Cluster topology: who is in the run and where to dial them.
+
+A cluster is described by a JSON document in the classic ps/worker shape
+(shifu-tensorflow's ``CLUSTER_SPEC``)::
+
+    {
+      "coordinator": "127.0.0.1:7070",
+      "worker": ["127.0.0.1:7071", "127.0.0.1:7072"],
+      "ps": ["127.0.0.1:7080"]
+    }
+
+Each address is where that role *listens*: workers accept their ring
+predecessor there, PS shards accept learner clients, the coordinator
+accepts everyone's control connection.  A launched process finds its spot
+through three environment variables::
+
+    REPRO_CLUSTER_SPEC   the JSON document (or @/path/to/spec.json)
+    REPRO_JOB_NAME       "worker" | "ps" | "coordinator"
+    REPRO_TASK_ID        index within the role's address list
+
+For single-host runs nobody writes a spec by hand:
+:func:`allocate_loopback` binds every listener on ``127.0.0.1:0`` and
+reads back the kernel-assigned ports, so the spec is free of port
+collisions by construction.  The bound sockets are returned alongside the
+spec — the fork-mode backend passes each one to the child that owns it
+(fork inherits the listening socket, so there is no close-then-rebind
+race); the external launcher closes them and lets each process re-bind
+its own address (a small race, acceptable for hand-run loopback demos and
+explicit remote specs where ports are fixed anyway).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .frames import bind_listener, listener_addr
+
+__all__ = [
+    "ClusterSpec",
+    "allocate_loopback",
+    "spec_from_env",
+    "role_from_env",
+    "ENV_SPEC",
+    "ENV_JOB",
+    "ENV_TASK",
+]
+
+ENV_SPEC = "REPRO_CLUSTER_SPEC"
+ENV_JOB = "REPRO_JOB_NAME"
+ENV_TASK = "REPRO_TASK_ID"
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable address book for one run."""
+
+    coordinator: str
+    workers: Tuple[str, ...]
+    ps: Tuple[str, ...] = ()
+
+    @property
+    def p(self) -> int:
+        return len(self.workers)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.ps)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "coordinator": self.coordinator,
+                "worker": list(self.workers),
+                "ps": list(self.ps),
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        doc = json.loads(text)
+        try:
+            return cls(
+                coordinator=doc["coordinator"],
+                workers=tuple(doc.get("worker", ())),
+                ps=tuple(doc.get("ps", ())),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"malformed cluster spec (need coordinator/worker/ps): {exc}"
+            ) from None
+
+    def env(self, job: str, task: int) -> Dict[str, str]:
+        """The environment triplet that places one process in this cluster."""
+        return {ENV_SPEC: self.to_json(), ENV_JOB: job, ENV_TASK: str(task)}
+
+
+def allocate_loopback(
+    p: int, n_shards: int = 0, host: str = "127.0.0.1"
+) -> Tuple[ClusterSpec, Dict[str, socket.socket]]:
+    """Bind every role's listener on an ephemeral port and build the spec.
+
+    Returns ``(spec, listeners)`` where ``listeners`` maps role labels
+    ("coordinator", "worker0"…, "ps0"…) to live listening sockets bound to
+    the addresses in the spec.
+    """
+    listeners: Dict[str, socket.socket] = {}
+    try:
+        listeners["coordinator"] = bind_listener(f"{host}:0")
+        for i in range(p):
+            listeners[f"worker{i}"] = bind_listener(f"{host}:0")
+        for s in range(n_shards):
+            listeners[f"ps{s}"] = bind_listener(f"{host}:0")
+    except OSError:
+        for sock in listeners.values():
+            sock.close()
+        raise
+    spec = ClusterSpec(
+        coordinator=listener_addr(listeners["coordinator"]),
+        workers=tuple(listener_addr(listeners[f"worker{i}"]) for i in range(p)),
+        ps=tuple(listener_addr(listeners[f"ps{s}"]) for s in range(n_shards)),
+    )
+    return spec, listeners
+
+
+def spec_from_env(environ: Optional[Dict[str, str]] = None) -> ClusterSpec:
+    """The cluster spec from ``REPRO_CLUSTER_SPEC`` (inline JSON or @file)."""
+    environ = os.environ if environ is None else environ
+    raw = environ.get(ENV_SPEC)
+    if not raw:
+        raise ValueError(
+            f"{ENV_SPEC} is not set — launch this process through "
+            f"`repro launch` or export the cluster spec first"
+        )
+    if raw.startswith("@"):
+        with open(raw[1:], "r", encoding="utf-8") as fh:
+            raw = fh.read()
+    return ClusterSpec.from_json(raw)
+
+
+def role_from_env(
+    environ: Optional[Dict[str, str]] = None,
+) -> Tuple[str, int]:
+    """``(job_name, task_id)`` from ``REPRO_JOB_NAME``/``REPRO_TASK_ID``."""
+    environ = os.environ if environ is None else environ
+    job = environ.get(ENV_JOB, "")
+    if job not in ("worker", "ps", "coordinator"):
+        raise ValueError(
+            f"{ENV_JOB}={job!r} — expected worker, ps, or coordinator"
+        )
+    try:
+        task = int(environ.get(ENV_TASK, ""))
+    except ValueError:
+        raise ValueError(f"{ENV_TASK} must be an integer task index") from None
+    return job, task
+
+
+def close_all(listeners: Dict[str, socket.socket],
+              keep: Tuple[str, ...] = ()) -> None:
+    """Close every listener except those named in ``keep`` (child processes
+    drop the sockets they don't own right after fork)."""
+    for name, sock in listeners.items():
+        if name not in keep:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def command_lines(spec: ClusterSpec, spec_path: str) -> List[str]:
+    """Copy-pasteable per-role shell commands for remote hosts."""
+    lines: List[str] = []
+
+    def fmt(job: str, task: int) -> str:
+        return (
+            f"{ENV_SPEC}='{spec.to_json()}' {ENV_JOB}={job} {ENV_TASK}={task} "
+            f"PYTHONPATH=src python -m repro launch {spec_path} --role {job}:{task}"
+        )
+
+    lines.append(fmt("coordinator", 0))
+    for s in range(spec.n_shards):
+        lines.append(fmt("ps", s))
+    for i in range(spec.p):
+        lines.append(fmt("worker", i))
+    return lines

@@ -1,0 +1,318 @@
+"""The length-prefixed framed wire protocol every ``repro.net`` socket speaks.
+
+One frame = a fixed binary header + a JSON meta blob + an opaque payload::
+
+    !2sBBQII  =  magic  version  kind  seq  meta_len  payload_len
+    (2)  (1)  (1)  (8)  (4)  (4)        -> 20 bytes, network byte order
+
+* ``magic``/``version`` reject foreign or incompatible peers at the first
+  frame instead of corrupting state mid-run.
+* ``kind`` is one small-integer frame type (:data:`KIND_NAMES`), so a
+  receiver can dispatch without parsing the meta.
+* ``seq`` is a per-sender stream position.  The parameter-server protocol
+  reuses it as the request sequence number its retry + dedupe machinery
+  keys on; collective rings use it as a cheap desync tripwire.
+* ``meta`` is a small JSON dict (dtype/shape for tensors, op/rank for PS
+  requests, the event record for telemetry frames).
+* ``payload`` is raw bytes.  Tensor frames put the numpy buffer here
+  verbatim — sent straight out of the array's memory with ``sendall`` and
+  received into a fresh writable buffer, no pickling on the hot path.
+  Control frames carry a pickle (:func:`send_obj`) or nothing.
+
+Failure surfaces as :class:`ConnectionLost` carrying the *labeled* peer
+("learner2", "ps0", "coordinator"), so a dead process is named — TCP gives
+the detection for free: a killed peer's sockets close and every blocked
+``recv`` on them returns EOF/ECONNRESET within milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "Frame",
+    "Conn",
+    "ConnectionLost",
+    "ProtocolError",
+    "HELLO",
+    "WELCOME",
+    "DATA",
+    "PS_REQ",
+    "PS_REP",
+    "RESULT",
+    "ERROR",
+    "EVENT",
+    "HEARTBEAT",
+    "STOP",
+    "STATS",
+    "KIND_NAMES",
+    "connect",
+    "bind_listener",
+    "parse_addr",
+]
+
+MAGIC = b"rN"
+PROTOCOL_VERSION = 1
+_HEADER = struct.Struct("!2sBBQII")
+
+# frame kinds (one byte on the wire)
+HELLO = 1      # role announcement: worker/ps -> coordinator
+WELCOME = 2    # rendezvous complete: coordinator -> role (cluster + run meta)
+DATA = 3       # collective payload on the learner ring
+PS_REQ = 4     # push/pull/elastic request: learner -> shard
+PS_REP = 5     # shard reply (answers PS_REQ seq)
+RESULT = 6     # worker's final payload: worker -> coordinator
+ERROR = 7      # worker's failure payload: worker -> coordinator
+EVENT = 8      # one repro.obs.events record: worker -> coordinator / sink
+HEARTBEAT = 9  # liveness stamp: worker -> coordinator
+STOP = 10      # drain request: coordinator -> shard
+STATS = 11     # shard's final slice + counters (answers STOP)
+
+KIND_NAMES = {
+    HELLO: "hello",
+    WELCOME: "welcome",
+    DATA: "data",
+    PS_REQ: "ps_req",
+    PS_REP: "ps_rep",
+    RESULT: "result",
+    ERROR: "error",
+    EVENT: "event",
+    HEARTBEAT: "heartbeat",
+    STOP: "stop",
+    STATS: "stats",
+}
+
+#: metas stay small; payloads (tensors) are bounded by the model size.  The
+#: caps only exist to fail fast on a desynced/garbage stream instead of
+#: attempting a multi-gigabyte allocation from a corrupt length field.
+_MAX_META = 16 * 1024 * 1024
+_MAX_PAYLOAD = 1 << 34
+
+
+class ProtocolError(RuntimeError):
+    """The peer spoke something other than this protocol (or a different
+    version of it) — bad magic, bad version, oversized length fields."""
+
+
+class ConnectionLost(ConnectionError):
+    """The TCP connection to a labeled peer died (EOF or reset).
+
+    ``peer`` is the role label of the other end ("learner2", "ps0",
+    "coordinator") — the failure-detection path turns it into the typed
+    :class:`~repro.runtime.LearnerFailure` naming the victim.
+    """
+
+    def __init__(self, peer: str, detail: str = "connection lost") -> None:
+        super().__init__(f"{detail} ({peer})")
+        self.peer = peer
+
+
+class Frame:
+    """One received frame: ``kind``, ``seq``, ``meta`` dict, raw payload."""
+
+    __slots__ = ("kind", "seq", "meta", "payload")
+
+    def __init__(self, kind: int, seq: int, meta: Dict[str, Any],
+                 payload: bytearray) -> None:
+        self.kind = kind
+        self.seq = seq
+        self.meta = meta
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Frame({KIND_NAMES.get(self.kind, self.kind)}, seq={self.seq}, "
+            f"meta={self.meta!r}, {len(self.payload)}B)"
+        )
+
+    def tensor(self) -> np.ndarray:
+        """The payload as the array described by meta ``dtype``/``shape``.
+
+        Zero-copy: a writable view over the receive buffer (the buffer is
+        freshly allocated per frame, so aliasing is safe).
+        """
+        arr = np.frombuffer(self.payload, dtype=np.dtype(self.meta["dtype"]))
+        return arr.reshape(self.meta.get("shape", arr.shape))
+
+    def obj(self) -> Any:
+        """The payload unpickled (RESULT/ERROR/STATS control frames)."""
+        return pickle.loads(bytes(self.payload))
+
+
+def parse_addr(addr: str) -> Tuple[str, int]:
+    """``"host:port"`` → ``(host, port)``."""
+    host, _, port = addr.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected host:port, got {addr!r}")
+    return host, int(port)
+
+
+def bind_listener(addr: str, backlog: int = 64) -> socket.socket:
+    """A listening TCP socket on ``addr`` (``host:0`` picks a free port)."""
+    host, port = parse_addr(addr)
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock
+
+
+def listener_addr(sock: socket.socket) -> str:
+    host, port = sock.getsockname()[:2]
+    return f"{host}:{port}"
+
+
+def connect(
+    addr: str,
+    peer: str,
+    timeout: float = 10.0,
+    retry_interval: float = 0.05,
+) -> "Conn":
+    """Connect to ``addr``, retrying refused connections until ``timeout``.
+
+    Bootstrap ordering is unknowable (a learner may dial its ring successor
+    or a PS shard before that process reaches ``listen``), so connection
+    refused is retried on a short interval; anything still down after
+    ``timeout`` raises :class:`ConnectionLost`.
+    """
+    import time
+
+    host, port = parse_addr(addr)
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            return Conn(sock, peer)
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise ConnectionLost(
+                    peer, f"could not connect to {addr} within {timeout}s: {exc}"
+                ) from None
+            time.sleep(retry_interval)
+
+
+class Conn:
+    """One framed TCP connection to a labeled peer.
+
+    Send is serialised by a lock so multiple threads (a worker's heartbeat
+    thread and its main loop, a sink fanning out events) can share the
+    connection without interleaving frames.  Receive is single-reader.
+    """
+
+    def __init__(self, sock: socket.socket, peer: str) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.sock = sock
+        self.peer = peer
+        self._send_lock = threading.Lock()
+        self._seq = 0
+
+    # -- sending -------------------------------------------------------------
+
+    def _send(self, kind: int, meta: Optional[Dict[str, Any]], payload,
+              seq: Optional[int]) -> int:
+        meta_blob = (
+            json.dumps(meta, separators=(",", ":")).encode() if meta else b""
+        )
+        with self._send_lock:
+            if seq is None:
+                self._seq += 1
+                seq = self._seq
+            header = _HEADER.pack(
+                MAGIC, PROTOCOL_VERSION, kind, seq, len(meta_blob), len(payload)
+            )
+            try:
+                # small frames coalesce into one segment; tensor payloads go
+                # straight from the array's buffer (sendall on a memoryview)
+                self.sock.sendall(header + meta_blob)
+                if len(payload):
+                    self.sock.sendall(payload)
+            except (OSError, ValueError) as exc:
+                raise ConnectionLost(self.peer, f"send failed: {exc}") from None
+        return seq
+
+    def send(self, kind: int, meta: Optional[Dict[str, Any]] = None,
+             seq: Optional[int] = None) -> int:
+        """Send a payload-free control frame; returns the seq used."""
+        return self._send(kind, meta, b"", seq)
+
+    def send_tensor(self, kind: int, array: np.ndarray,
+                    meta: Optional[Dict[str, Any]] = None,
+                    seq: Optional[int] = None) -> int:
+        """Send ``array`` zero-copy: dtype/shape in meta, buffer as payload."""
+        array = np.ascontiguousarray(array)
+        meta = dict(meta or {})
+        meta["dtype"] = array.dtype.str
+        meta["shape"] = list(array.shape)
+        return self._send(kind, meta, memoryview(array).cast("B"), seq)
+
+    def send_obj(self, kind: int, obj: Any,
+                 meta: Optional[Dict[str, Any]] = None,
+                 seq: Optional[int] = None) -> int:
+        """Send a pickled object (results, errors, shard stats)."""
+        return self._send(kind, meta, pickle.dumps(obj, protocol=4), seq)
+
+    # -- receiving -----------------------------------------------------------
+
+    def _recv_exact(self, n: int) -> bytearray:
+        buf = bytearray(n)
+        view = memoryview(buf)
+        got = 0
+        while got < n:
+            try:
+                k = self.sock.recv_into(view[got:], n - got)
+            except socket.timeout:
+                raise
+            except OSError as exc:
+                raise ConnectionLost(self.peer, f"recv failed: {exc}") from None
+            if k == 0:
+                raise ConnectionLost(self.peer, "peer closed the connection")
+            got += k
+        return buf
+
+    def recv(self) -> Frame:
+        """Read exactly one frame (blocking; honours the socket timeout —
+        ``socket.timeout`` propagates so callers can drive retry logic)."""
+        header = self._recv_exact(_HEADER.size)
+        magic, version, kind, seq, meta_len, payload_len = _HEADER.unpack(
+            bytes(header)
+        )
+        if magic != MAGIC:
+            raise ProtocolError(
+                f"{self.peer}: bad frame magic {bytes(magic)!r} "
+                f"(not a repro.net peer?)"
+            )
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"{self.peer}: protocol version {version} != "
+                f"{PROTOCOL_VERSION} (upgrade one side)"
+            )
+        if meta_len > _MAX_META or payload_len > _MAX_PAYLOAD:
+            raise ProtocolError(
+                f"{self.peer}: implausible frame lengths meta={meta_len} "
+                f"payload={payload_len} (desynced stream)"
+            )
+        meta = (
+            json.loads(bytes(self._recv_exact(meta_len))) if meta_len else {}
+        )
+        payload = self._recv_exact(payload_len) if payload_len else bytearray()
+        return Frame(kind, seq, meta, payload)
+
+    # -- plumbing ------------------------------------------------------------
+
+    def settimeout(self, seconds: Optional[float]) -> None:
+        self.sock.settimeout(seconds)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass

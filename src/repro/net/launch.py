@@ -1,0 +1,207 @@
+"""``repro launch`` — bring a scenario up as a real multi-process cluster.
+
+Local loopback (one command, the default)::
+
+    repro launch examples/specs/net_smoke.yml
+
+loads the scenario, allocates a loopback cluster spec (every role on an
+ephemeral ``127.0.0.1`` port), spawns one subprocess per worker and PS
+shard with the ``REPRO_CLUSTER_SPEC``/``REPRO_JOB_NAME``/``REPRO_TASK_ID``
+environment triplet, runs the coordinator inline, and prints the result.
+
+Remote / by-hand (two terminals, or N hosts)::
+
+    repro launch SPEC --print-commands    # emits one command per role
+    # paste each line into its own terminal/host, coordinator first
+
+Each printed command is self-contained: the cluster spec rides in the
+environment, and ``--role job:task`` tells the process which seat to take.
+A role process rebuilds the *same* trainer from the *same* scenario file —
+determinism comes from the spec, not from forked memory — then either
+serves a PS shard (:func:`repro.net.backend.run_ps_role`), drives one
+learner (worker), or supervises the run and assembles the result
+(coordinator).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .backend import NetBackend, run_ps_role
+from .cluster import (
+    ClusterSpec,
+    allocate_loopback,
+    close_all,
+    command_lines,
+    spec_from_env,
+)
+
+__all__ = ["launch", "parse_role"]
+
+_ROLE_JOBS = ("coordinator", "worker", "ps")
+
+
+def parse_role(text: str) -> Tuple[str, int]:
+    """``"worker:1"`` → ``("worker", 1)`` (``"coordinator"`` implies task 0)."""
+    job, _, task = text.partition(":")
+    if job not in _ROLE_JOBS:
+        raise ValueError(
+            f"unknown role {job!r} (expected coordinator, worker:K, or ps:K)"
+        )
+    if not task:
+        task = "0"
+    if not task.isdigit():
+        raise ValueError(f"role task must be an integer, got {task!r}")
+    return job, int(task)
+
+
+def _load_net_scenario(spec_path: str):
+    """The scenario document, forced onto the net backend and validated."""
+    from ..spec import load_spec
+
+    spec = load_spec(spec_path)
+    if spec.mode == "experiment":
+        raise ValueError(
+            "repro launch runs custom scenarios (problem/algorithm/config); "
+            f"{spec_path} names an experiment family — use `repro run` for it"
+        )
+    if spec.backend != "net":
+        spec = spec.with_overrides(backend="net")
+    return spec
+
+
+def _shard_count(spec) -> int:
+    """How many PS shards the scenario's trainer will ask for (0 = none)."""
+    from ..spec import registry as reg
+
+    options_cls = reg.TRAINERS.meta(spec.algorithm).get("options")
+    if options_cls is None:
+        return 0
+    return int(getattr(options_cls(**spec.options), "n_shards", 0))
+
+
+def _run_coordinator(
+    spec,
+    cluster: ClusterSpec,
+    timeout: float,
+    procs: Optional[Dict[Tuple[str, int], subprocess.Popen]] = None,
+) -> int:
+    from ..harness import format_result
+    from ..spec.compile import run_custom
+
+    backend = NetBackend(mode="coordinator", spec=cluster, timeout=timeout)
+    if procs:
+        backend.attach_processes(
+            {
+                task: (lambda pr: lambda: pr.poll() is None)(proc)
+                for (job, task), proc in procs.items()
+                if job == "worker"
+            }
+        )
+    result = run_custom(spec, backend=backend)
+    print(format_result(result))
+    return 0
+
+
+def _reap(procs: Dict[Tuple[str, int], subprocess.Popen], grace: float) -> None:
+    for proc in procs.values():
+        try:
+            proc.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def launch(
+    spec_path: str,
+    role: Optional[str] = None,
+    print_commands: bool = False,
+    timeout: float = 120.0,
+    host: str = "127.0.0.1",
+) -> int:
+    """The ``repro launch`` driver; returns a process exit code."""
+    spec = _load_net_scenario(spec_path)
+
+    if role is not None:
+        # one seat of an already-described cluster: addresses from the env
+        cluster = spec_from_env()
+        job, task = parse_role(role)
+        if job == "ps":
+            if not 0 <= task < cluster.n_shards:
+                raise ValueError(
+                    f"ps task {task} out of range (spec has {cluster.n_shards})"
+                )
+            run_ps_role(cluster, task, timeout=timeout)
+            return 0
+        if job == "worker":
+            if not 0 <= task < cluster.p:
+                raise ValueError(
+                    f"worker task {task} out of range (spec has {cluster.p})"
+                )
+            from ..spec.compile import _build_trainer
+
+            backend = NetBackend(
+                mode="worker", spec=cluster, task=task, timeout=timeout
+            )
+            trainer = _build_trainer(spec, backend=backend)
+            try:
+                trainer.train()  # worker-mode run() exits the process
+            except SystemExit:
+                pass
+            return 0
+        return _run_coordinator(spec, cluster, timeout)
+
+    # no role: this process owns the whole cluster
+    p = int(spec.config.get("p", 1))
+    n_shards = _shard_count(spec)
+    cluster, listeners = allocate_loopback(p, n_shards, host=host)
+    # the subprocesses (and coordinator mode itself) bind their own spec
+    # addresses — release the allocation probes first.  The tiny window in
+    # which another process could steal a port is acceptable on loopback.
+    close_all(listeners)
+
+    if print_commands:
+        print("# one command per role — run each in its own terminal/host,")
+        print("# coordinator first (it hosts the rendezvous):")
+        for line in command_lines(cluster, spec_path):
+            print(line)
+        return 0
+
+    procs: Dict[Tuple[str, int], subprocess.Popen] = {}
+    try:
+        for job, task in [("ps", s) for s in range(n_shards)] + [
+            ("worker", i) for i in range(p)
+        ]:
+            env = dict(os.environ)
+            env.update(cluster.env(job, task))
+            procs[(job, task)] = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "launch",
+                    spec_path,
+                    "--role",
+                    f"{job}:{task}",
+                    "--timeout",
+                    str(timeout),
+                ],
+                env=env,
+            )
+        code = _run_coordinator(spec, cluster, timeout, procs)
+    finally:
+        _reap(procs, grace=5.0)
+        leftovers: List[str] = [
+            f"{job}:{task}"
+            for (job, task), proc in procs.items()
+            if proc.returncode not in (0, None) and job != "worker"
+        ]
+        if leftovers:
+            print(
+                f"note: role processes exited non-zero: {', '.join(leftovers)}",
+                file=sys.stderr,
+            )
+    return code

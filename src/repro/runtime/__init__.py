@@ -15,6 +15,11 @@ parameter-server modules directly.  Two backends ship:
     ``multiprocessing.shared_memory`` collectives and parameter-server
     shard processes.
 
+``net`` (:class:`~repro.net.NetBackend`)
+    Distributed execution over TCP sockets: learners and PS shards are
+    separate processes — loopback by default, separate hosts via
+    ``repro launch`` and a cluster spec (:mod:`repro.net`).
+
 Selecting a backend::
 
     SASGDTrainer(problem, config, options, backend=MPBackend())   # explicit
@@ -33,8 +38,11 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Callable, Iterator, List, Union
 
+import inspect as _inspect
+
 from .api import (
     Backend,
+    BackendCapabilityError,
     Collective,
     LearnerFailure,
     ParameterServerHandle,
@@ -46,9 +54,11 @@ from .api import (
 from ..spec import registry as _registry
 from .mp_backend import MPBackend, MPCollective, MPParameterServer
 from .sim_backend import SimBackend, SimCollective, SimParameterServer
+from ..net.backend import NetBackend
 
 __all__ = [
     "Backend",
+    "BackendCapabilityError",
     "Collective",
     "LearnerFailure",
     "RetryBudgetExhausted",
@@ -62,6 +72,7 @@ __all__ = [
     "MPBackend",
     "MPCollective",
     "MPParameterServer",
+    "NetBackend",
     "BACKENDS",
     "make_backend",
     "use_backend",
@@ -71,15 +82,32 @@ __all__ = [
 BACKENDS = {
     "sim": SimBackend,
     "mp": MPBackend,
+    "net": NetBackend,
 }
 
 _registry.BACKENDS.register(
     "sim", SimBackend,
     description="discrete-event simulator in virtual time (default)",
+    capabilities=(
+        "virtual clocks, machine= fabric models, comm_mode sweeps, every "
+        "recovery policy; deterministic to the byte"
+    ),
 )
 _registry.BACKENDS.register(
     "mp", MPBackend,
     description="one OS process per learner over shared-memory collectives",
+    capabilities=(
+        "real wall-clock on host cores; recovery: fail_fast, elastic, "
+        "restart_shard; no machine= (the hardware is the model)"
+    ),
+)
+_registry.BACKENDS.register(
+    "net", NetBackend,
+    description="one OS process per learner/shard over TCP (cluster spec)",
+    capabilities=(
+        "loopback or multi-host via `repro launch`; recovery: fail_fast, "
+        "elastic (local cluster only); no machine=, no restart_shard"
+    ),
 )
 
 # Stack of ambient default-backend factories installed by use_backend().
@@ -88,8 +116,45 @@ _DEFAULT_FACTORIES: List[Callable[[], Backend]] = []
 
 
 def make_backend(name: str, **kwargs) -> Backend:
-    """Instantiate a registered backend by name ('sim' or 'mp')."""
-    return _registry.BACKENDS.get(name)(**kwargs)
+    """Instantiate a registered backend by name ('sim', 'mp', 'net').
+
+    An unknown *name* raises the registry's UnknownNameError with
+    suggestions; a known name given an option it cannot honour raises
+    :class:`BackendCapabilityError` that says which backend *does* support
+    it (e.g. ``machine=`` is sim-only) instead of a TypeError traceback.
+    """
+    cls = _registry.BACKENDS.get(name)
+    sig = _inspect.signature(cls.__init__)
+    accepts_any = any(
+        p.kind is _inspect.Parameter.VAR_KEYWORD for p in sig.parameters.values()
+    )
+    if not accepts_any:
+        accepted = sorted(set(sig.parameters) - {"self"})
+        for key in sorted(kwargs):
+            if key in sig.parameters:
+                continue
+            owners = [
+                other
+                for other, ocls in _registry.BACKENDS.items()
+                if other != name
+                and key in _inspect.signature(ocls.__init__).parameters
+            ]
+            if owners:
+                raise BackendCapabilityError(
+                    name,
+                    f"option {key}= is only available on the "
+                    f"{'/'.join(owners)} backend"
+                    f"{'s' if len(owners) > 1 else ''} "
+                    f"(this backend accepts: {', '.join(accepted) or 'none'}; "
+                    "see `repro list backends`)",
+                )
+            raise BackendCapabilityError(
+                name,
+                f"unknown option {key}= "
+                f"(this backend accepts: {', '.join(accepted) or 'none'}; "
+                "see `repro list backends`)",
+            )
+    return cls(**kwargs)
 
 
 @contextmanager

@@ -44,6 +44,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "LearnerFailure",
     "RetryBudgetExhausted",
+    "BackendCapabilityError",
     "Collective",
     "PSClientLike",
     "ParameterServerHandle",
@@ -51,6 +52,21 @@ __all__ = [
     "Backend",
     "blocking",
 ]
+
+
+class BackendCapabilityError(ValueError):
+    """A valid option was asked of a backend that cannot provide it.
+
+    Distinct from :class:`~repro.spec.registry.UnknownNameError` (the name
+    does not exist anywhere): here the feature exists — on *another*
+    backend — so the message says which backend supports it instead of
+    handing the user a traceback.  ``repro list backends`` prints each
+    backend's capability notes from the same registry metadata.
+    """
+
+    def __init__(self, backend: str, message: str) -> None:
+        super().__init__(f"backend {backend!r}: {message}")
+        self.backend = backend
 
 
 class LearnerFailure(RuntimeError):

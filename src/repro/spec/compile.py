@@ -150,6 +150,15 @@ class RunPlan:
                 for spec_ev in self.spec.events:
                     if spec_ev in ("console", "-"):
                         sinks.append(obs.ConsoleProgressSink())
+                    elif spec_ev.startswith("tcp://"):
+                        from ..net.events import TcpEventSink
+
+                        sink = TcpEventSink(spec_ev)
+                        print(
+                            f"events streaming on {sink.addr} "
+                            f"(attach with `repro watch --connect {sink.addr}`)"
+                        )
+                        sinks.append(sink)
                     else:
                         sinks.append(obs.JsonlRecorderSink(spec_ev))
                 bus = obs.EventBus(sinks=sinks)
@@ -229,8 +238,13 @@ def _experiment_plan(spec: ScenarioSpec) -> RunPlan:
 # --------------------------------------------------------------------------
 
 
-def _build_trainer(spec: ScenarioSpec):
-    """Instantiate the spec's trainer (problem, config, options, substrate)."""
+def _build_trainer(spec: ScenarioSpec, backend=None):
+    """Instantiate the spec's trainer (problem, config, options, substrate).
+
+    ``backend`` overrides the spec's backend *instance* — ``repro launch``
+    uses it to hand in a cluster-aware coordinator/worker NetBackend that
+    a YAML document could not describe (it holds live socket addresses).
+    """
     from ..algos.base import TrainerConfig
 
     problem_factory = reg.PROBLEMS.get(spec.problem, field="problem")
@@ -266,9 +280,12 @@ def _build_trainer(spec: ScenarioSpec):
                 "in-process)",
                 field="backend",
             )
-        from ..runtime import make_backend
+        if backend is not None:
+            kwargs["backend"] = backend
+        else:
+            from ..runtime import make_backend
 
-        kwargs["backend"] = make_backend(spec.backend, **spec.backend_args)
+            kwargs["backend"] = make_backend(spec.backend, **spec.backend_args)
 
     ctx = None
     if spec.faults or spec.recovery or spec.checkpoint_dir or spec.resume:
@@ -291,11 +308,11 @@ def _build_trainer(spec: ScenarioSpec):
     return trainer_cls(problem, config, **kwargs)
 
 
-def run_custom(spec: ScenarioSpec) -> Any:
+def run_custom(spec: ScenarioSpec, backend=None) -> Any:
     """Run one custom scenario point and report it as an ExperimentResult."""
     from ..harness.experiments import ExperimentResult
 
-    trainer = _build_trainer(spec)
+    trainer = _build_trainer(spec, backend=backend)
     res = trainer.train()
     label = spec.name or f"{spec.algorithm}@{spec.problem}"
     rows = [

@@ -1,0 +1,355 @@
+"""End-to-end suite for the ``net`` (TCP socket) runtime backend.
+
+Mirrors the mp-backend guarantees on real sockets:
+
+* **Equivalence** — synchronous SASGD over the socket ring reaches the
+  same parameters as the sim backend (identical per-rank RNG streams; only
+  fp summation order differs); PS algorithms complete with finite losses.
+* **Failure** — a killed learner process surfaces as a typed
+  :class:`LearnerFailure` naming the victim, detected via connection loss;
+  injected frame drops are retried, counted, and bounded by the retry
+  budget; elastic recovery finishes the run with the survivors.
+* **Capability honesty** — options and recovery modes the backend cannot
+  honour raise :class:`BackendCapabilityError` that names a backend that
+  can, instead of a traceback.
+* **Telemetry** — :class:`TcpEventSink` hands a late subscriber one
+  snapshot then live deltas; ``repro launch`` brings up a real loopback
+  cluster from a spec file.
+"""
+
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.algos import (
+    DownpourOptions,
+    DownpourTrainer,
+    EAMSGDOptions,
+    EAMSGDTrainer,
+    SASGDOptions,
+    SASGDTrainer,
+    TrainerConfig,
+)
+from repro.algos.problems import cifar_problem
+from repro.faults import FaultContext, FaultPlan
+from repro.net import ClusterSpec, NetBackend
+from repro.net.events import TcpEventSink, iter_remote_events, strip_scheme
+from repro.obs import events as obs_events
+from repro.runtime import (
+    BackendCapabilityError,
+    LearnerFailure,
+    RetryBudgetExhausted,
+    make_backend,
+)
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not HAVE_FORK, reason="net backend needs fork")
+
+
+def _p2_config(seed=3, epochs=2):
+    return TrainerConfig(p=2, epochs=epochs, batch_size=8, lr=0.02, seed=seed)
+
+
+def _make_trainer(algo, backend=None, fault_ctx=None, **opt_kwargs):
+    problem = cifar_problem(scale="unit", seed=1)
+    config = _p2_config()
+    if algo == "sasgd":
+        return SASGDTrainer(
+            problem, config, SASGDOptions(T=2, **opt_kwargs),
+            backend=backend, fault_ctx=fault_ctx,
+        )
+    if algo == "downpour":
+        return DownpourTrainer(
+            problem, config, DownpourOptions(T=2, **opt_kwargs),
+            backend=backend, fault_ctx=fault_ctx,
+        )
+    return EAMSGDTrainer(
+        problem, config, EAMSGDOptions(tau=2, **opt_kwargs),
+        backend=backend, fault_ctx=fault_ctx,
+    )
+
+
+# --------------------------------------------------------------------------
+# training equivalence on the socket substrate
+# --------------------------------------------------------------------------
+
+
+@needs_fork
+def test_net_sasgd_matches_sim_within_tolerance():
+    sim = _make_trainer("sasgd")
+    sim_res = sim.train()
+    net = _make_trainer("sasgd", backend=NetBackend(timeout=60.0))
+    net_res = net.train()
+    # identical per-rank RNG streams: only fp summation order inside the
+    # ring allreduce may differ from the simulator's tree reduction
+    a = np.asarray(sim.workloads[0].flat.data, np.float64)
+    b = np.asarray(net.workloads[0].flat.data, np.float64)
+    np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+    assert net_res.records
+    assert abs(sim_res.records[-1].test_acc - net_res.records[-1].test_acc) <= 0.1
+    assert net.allreduce_count == sim.allreduce_count
+    assert net_res.extras["backend"] == "net"
+    assert net_res.extras["workers"] == 2
+    # the address book the run actually used rides on the result
+    spec = json.loads(net_res.extras["cluster_spec"])
+    assert len(spec["worker"]) == 2
+
+
+@needs_fork
+@pytest.mark.parametrize("algo", ["downpour", "eamsgd"])
+def test_net_ps_algorithms_complete(algo):
+    trainer = _make_trainer(algo, backend=NetBackend(timeout=60.0))
+    res = trainer.train()
+    assert res.records, f"{algo} net run recorded no epochs"
+    assert all(np.isfinite(r.train_loss) for r in res.records)
+    assert res.extras["backend"] == "net"
+    assert trainer.machine is None  # no simulated cluster was built
+    assert trainer.server.layout.n_shards == 2
+    # the drained shard state came back over STOP/STATS: params moved
+    assert float(np.abs(np.asarray(trainer.server.x, np.float64)).sum()) > 0
+    if algo == "downpour":
+        assert trainer.server.pushes_applied > 0
+
+
+# --------------------------------------------------------------------------
+# failure injection over real sockets
+# --------------------------------------------------------------------------
+
+
+@needs_fork
+def test_net_killed_learner_detected_via_connection_loss():
+    # the planned crash is a real os._exit in the learner process — no
+    # farewell frame — so detection is purely the coordinator watching
+    # the control connection drop
+    trainer = _make_trainer(
+        "sasgd",
+        backend=NetBackend(timeout=30.0),
+        fault_ctx=FaultContext(plan=FaultPlan.parse("crash:learner=1,step=3")),
+    )
+    with pytest.raises(LearnerFailure) as err:
+        trainer.train()
+    failure = err.value
+    assert failure.learner_id == 1
+    assert failure.step == 3
+    assert "learner1 died after 3 local steps" in str(failure)
+    assert "deadlocked" in str(failure)
+    assert failure.detection_seconds is not None
+    assert 0.0 <= failure.detection_seconds < 5.0
+
+
+@needs_fork
+def test_net_ps_frame_drops_are_retried_and_counted():
+    # two deterministic drops of learner 0's frames: the same request seq
+    # is resent, the shard's dedupe cache absorbs any duplicate apply, and
+    # the run completes with the retries counted
+    trainer = _make_trainer(
+        "downpour",
+        backend=NetBackend(timeout=30.0),
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("drop:learner=0,nth=1,count=2")
+        ),
+    )
+    res = trainer.train()
+    assert res.records
+    assert res.extras["ps_retries"] == 2  # deterministic: count= is exact
+
+
+@needs_fork
+def test_net_ps_starvation_exhausts_retry_budget():
+    # four stacked drops of the first request outlast the 3-retry budget:
+    # a typed, shard-naming error instead of a silent hang
+    spec = ";".join(["drop:learner=0,nth=0"] * 4)
+    trainer = _make_trainer(
+        "downpour",
+        backend=NetBackend(timeout=5.0),
+        fault_ctx=FaultContext(plan=FaultPlan.parse(spec)),
+    )
+    with pytest.raises(RetryBudgetExhausted) as err:
+        trainer.train()
+    assert err.value.learner_id == 0
+    assert err.value.attempts >= 3
+    assert "deadlocked" in str(err.value)
+
+
+@needs_fork
+def test_net_elastic_recovery_finishes_with_survivors():
+    trainer = _make_trainer(
+        "downpour",
+        backend=NetBackend(timeout=60.0),
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("crash:learner=1,step=6"), recovery="elastic"
+        ),
+    )
+    res = trainer.train()  # learner 1 dies for real; the run must finish
+    assert res.records
+    assert all(np.isfinite(r.train_loss) for r in res.records)
+    assert res.extras["backend"] == "net"
+
+
+# --------------------------------------------------------------------------
+# capability honesty: typed errors, not tracebacks
+# --------------------------------------------------------------------------
+
+
+def test_make_backend_net_rejects_sim_only_options():
+    with pytest.raises(BackendCapabilityError) as err:
+        make_backend("net", machine="power8")
+    msg = str(err.value)
+    assert "machine=" in msg
+    assert "sim" in msg  # names the backend that does support it
+    assert "repro list backends" in msg
+
+
+def test_make_backend_net_accepts_its_own_options():
+    backend = make_backend("net", timeout=30.0)
+    assert isinstance(backend, NetBackend)
+    assert backend.name == "net"
+
+
+def test_net_rejects_restart_shard_recovery():
+    backend = NetBackend(timeout=5.0)
+    with pytest.raises(BackendCapabilityError, match="restart_shard"):
+        backend.install_faults(
+            FaultPlan.parse("ps_crash:shard=0,push=5"),
+            recovery="restart_shard",
+        )
+
+
+def test_net_rejects_elastic_outside_fork_mode():
+    cluster = ClusterSpec(
+        coordinator="127.0.0.1:7470",
+        workers=("127.0.0.1:7471", "127.0.0.1:7472"),
+    )
+    backend = NetBackend(mode="coordinator", spec=cluster, timeout=5.0)
+    with pytest.raises(BackendCapabilityError, match="elastic"):
+        backend.install_faults(
+            FaultPlan.parse("crash:learner=1,step=3"), recovery="elastic"
+        )
+
+
+def test_registry_carries_capability_notes():
+    from repro.spec import registry
+
+    for name in ("sim", "mp", "net"):
+        assert registry.BACKENDS.meta(name).get("capabilities")
+    net_caps = registry.BACKENDS.meta("net")["capabilities"]
+    assert "repro launch" in net_caps
+    assert "restart_shard" in registry.BACKENDS.meta("mp")["capabilities"]
+
+
+# --------------------------------------------------------------------------
+# socket event streaming: snapshot + deltas to a live subscriber
+# --------------------------------------------------------------------------
+
+
+def test_tcp_event_sink_sends_snapshot_then_deltas():
+    sink = TcpEventSink("tcp://127.0.0.1:0")
+    try:
+        # one event *before* the subscriber attaches: it must arrive
+        # folded into the bootstrap snapshot, not be lost
+        sink.emit(obs_events.Event(
+            kind=obs_events.RUN_STARTED,
+            data={"algo": "downpour", "p": 2, "backend": "net"},
+            source="run", t=0.0, seq=1,
+        ))
+        stream = iter_remote_events(sink.addr, timeout=5.0)
+        first = next(stream)
+        assert first.kind == obs_events.SNAPSHOT
+        assert first.data["status"] == "running"
+        # live delta after attach
+        sink.emit(obs_events.Event(
+            kind=obs_events.EPOCH_PROGRESS,
+            data={"epoch": 1, "train_loss": 2.3},
+            source="run", t=0.5, seq=2,
+        ))
+        delta = next(stream)
+        assert delta.kind == obs_events.EPOCH_PROGRESS
+        assert delta.data["epoch"] == 1
+        # publisher closing ends the stream (run over)
+        sink.close()
+        assert list(stream) == []
+    finally:
+        sink.close()
+
+
+def test_remote_stream_replays_into_identical_snapshot():
+    # the watcher contract: folding the socket stream into a fresh
+    # RunSnapshot reconstructs the publisher's state
+    sink = TcpEventSink("127.0.0.1:0")
+    try:
+        stream = iter_remote_events(sink.addr, timeout=5.0)
+        first = next(stream)
+        view = obs_events.RunSnapshot()
+        view.apply(first)
+        for seq, (kind, data) in enumerate([
+            (obs_events.RUN_STARTED, {"algo": "sasgd", "p": 2}),
+            (obs_events.EPOCH_PROGRESS, {"epoch": 1, "train_loss": 2.0}),
+            (obs_events.RUN_FINISHED, {"status": "ok"}),
+        ], start=1):
+            sink.emit(obs_events.Event(
+                kind=kind, data=data, source="run", t=float(seq), seq=seq,
+            ))
+        for _ in range(3):
+            view.apply(next(stream))
+        assert view.to_dict() == sink._snapshot.to_dict()
+    finally:
+        sink.close()
+
+
+def test_strip_scheme():
+    assert strip_scheme("tcp://127.0.0.1:7900") == "127.0.0.1:7900"
+    assert strip_scheme("127.0.0.1:7900") == "127.0.0.1:7900"
+
+
+# --------------------------------------------------------------------------
+# repro launch: a real loopback cluster from a spec file
+# --------------------------------------------------------------------------
+
+_LAUNCH_SPEC = {
+    "name": "launch_smoke",
+    "problem": "cifar",
+    "problem_args": {"scale": "unit", "seed": 1},
+    "algorithm": "downpour",
+    "options": {"T": 2, "n_shards": 1},
+    "config": {"p": 2, "epochs": 1, "batch_size": 8, "lr": 0.02, "seed": 3},
+    "backend": "net",
+}
+
+
+def test_parse_role():
+    from repro.net.launch import parse_role
+
+    assert parse_role("coordinator") == ("coordinator", 0)
+    assert parse_role("worker:1") == ("worker", 1)
+    assert parse_role("ps:0") == ("ps", 0)
+    with pytest.raises(ValueError, match="unknown role"):
+        parse_role("learner:0")
+    with pytest.raises(ValueError, match="integer"):
+        parse_role("worker:one")
+
+
+def test_launch_print_commands_covers_every_role(tmp_path, capsys):
+    from repro.net.launch import launch
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_LAUNCH_SPEC))
+    assert launch(str(path), print_commands=True) == 0
+    out = capsys.readouterr().out
+    for role in ("coordinator:0", "ps:0", "worker:0", "worker:1"):
+        assert f"--role {role}" in out
+    assert "REPRO_CLUSTER_SPEC" in out
+
+
+def test_launch_runs_a_loopback_cluster(tmp_path, capsys):
+    # the full external path: one subprocess per worker and PS shard
+    # (python -m repro launch --role ...), coordinator inline; every role
+    # rebuilds the trainer from the spec file, rendezvous over TCP, train
+    from repro.net.launch import launch
+
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(_LAUNCH_SPEC))
+    assert launch(str(path), timeout=90.0) == 0
+    out = capsys.readouterr().out
+    assert "downpour" in out  # the formatted TrainResult was printed

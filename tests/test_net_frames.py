@@ -1,0 +1,324 @@
+"""Wire-protocol and cluster-spec suite for ``repro.net``.
+
+Pins the contracts everything above the sockets relies on:
+
+* framed protocol round-trips (control / tensor / pickled-object frames),
+  sequence numbering, and zero-copy tensor reception;
+* hard rejection of foreign or incompatible peers (magic, version,
+  implausible lengths) as :class:`ProtocolError`, never silent corruption;
+* death surfaces as :class:`ConnectionLost` carrying the *labeled* peer —
+  the raw material of the net backend's failure detection;
+* :class:`ClusterSpec` JSON/env round-trips and the loopback allocator that
+  ``repro launch`` builds clusters from.
+"""
+
+import json
+import socket
+import struct
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.net.cluster import (
+    ENV_JOB,
+    ENV_SPEC,
+    ENV_TASK,
+    ClusterSpec,
+    allocate_loopback,
+    close_all,
+    command_lines,
+    role_from_env,
+    spec_from_env,
+)
+from repro.net.frames import (
+    DATA,
+    HELLO,
+    MAGIC,
+    PROTOCOL_VERSION,
+    RESULT,
+    Conn,
+    ConnectionLost,
+    ProtocolError,
+    bind_listener,
+    connect,
+    listener_addr,
+    parse_addr,
+)
+
+# --------------------------------------------------------------------------
+# plumbing: a connected loopback pair
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def pair():
+    """(client Conn, server Conn) over a real loopback TCP connection."""
+    listener = bind_listener("127.0.0.1:0")
+    client = connect(listener_addr(listener), "server", timeout=5.0)
+    sock, _ = listener.accept()
+    server = Conn(sock, "client")
+    listener.close()
+    yield client, server
+    client.close()
+    server.close()
+
+
+# --------------------------------------------------------------------------
+# frame round-trips
+# --------------------------------------------------------------------------
+
+
+def test_control_frame_roundtrip(pair):
+    client, server = pair
+    seq = client.send(HELLO, {"role": "worker", "rank": 3})
+    frame = server.recv()
+    assert frame.kind == HELLO
+    assert frame.seq == seq
+    assert frame.meta == {"role": "worker", "rank": 3}
+    assert len(frame.payload) == 0
+
+
+def test_seq_auto_increments_and_explicit_seq_wins(pair):
+    client, server = pair
+    assert client.send(HELLO) == 1
+    assert client.send(HELLO) == 2
+    assert client.send(HELLO, seq=99) == 99
+    seqs = [server.recv().seq for _ in range(3)]
+    assert seqs == [1, 2, 99]
+
+
+def test_tensor_roundtrip_is_exact_and_writable(pair):
+    client, server = pair
+    rng = np.random.default_rng(0)
+    sent = rng.standard_normal((7, 5)).astype(np.float32)
+    client.send_tensor(DATA, sent, {"step": 4})
+    frame = server.recv()
+    got = frame.tensor()
+    assert got.dtype == np.float32
+    assert got.shape == (7, 5)
+    np.testing.assert_array_equal(got, sent)
+    assert frame.meta["step"] == 4
+    # the zero-copy view over the receive buffer must be writable: the
+    # ring-allreduce accumulates into received chunks in place
+    got += 1.0
+    np.testing.assert_array_equal(got, sent + 1.0)
+
+
+def test_object_frame_roundtrip(pair):
+    client, server = pair
+    payload = {"records": [1, 2, 3], "x": np.arange(4, dtype=np.float64)}
+    client.send_obj(RESULT, payload, {"rank": 0})
+    frame = server.recv()
+    obj = frame.obj()
+    assert obj["records"] == [1, 2, 3]
+    np.testing.assert_array_equal(obj["x"], np.arange(4, dtype=np.float64))
+
+
+def test_interleaved_sends_from_two_threads_keep_frames_whole(pair):
+    # the send lock is what lets a worker's heartbeat thread share the
+    # control connection with its main loop
+    client, server = pair
+    # small enough that all 40 frames fit in the kernel socket buffers —
+    # the server only starts reading after both senders finish
+    chunk = np.zeros(1024, dtype=np.float32)
+
+    def spam():
+        for _ in range(20):
+            client.send_tensor(DATA, chunk, {"who": "a"})
+
+    thread = threading.Thread(target=spam)
+    thread.start()
+    for _ in range(20):
+        client.send(HELLO, {"who": "b"})
+    thread.join()
+    kinds = [server.recv().kind for _ in range(40)]
+    assert sorted(kinds) == [HELLO] * 20 + [DATA] * 20
+
+
+# --------------------------------------------------------------------------
+# protocol rejection: foreign peers fail fast and loudly
+# --------------------------------------------------------------------------
+
+_HEADER = struct.Struct("!2sBBQII")
+
+
+def _raw_pair():
+    listener = bind_listener("127.0.0.1:0")
+    raw = socket.create_connection(parse_addr(listener_addr(listener)))
+    sock, _ = listener.accept()
+    listener.close()
+    return raw, Conn(sock, "stranger")
+
+
+def test_bad_magic_is_a_protocol_error():
+    raw, server = _raw_pair()
+    try:
+        raw.sendall(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n".ljust(20, b" "))
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            server.recv()
+    finally:
+        raw.close()
+        server.close()
+
+
+def test_version_mismatch_is_a_protocol_error():
+    raw, server = _raw_pair()
+    try:
+        raw.sendall(_HEADER.pack(MAGIC, PROTOCOL_VERSION + 1, HELLO, 1, 0, 0))
+        with pytest.raises(ProtocolError, match="protocol version"):
+            server.recv()
+    finally:
+        raw.close()
+        server.close()
+
+
+def test_implausible_lengths_are_a_protocol_error():
+    raw, server = _raw_pair()
+    try:
+        raw.sendall(
+            _HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, 1, 1 << 30, 0)
+        )
+        with pytest.raises(ProtocolError, match="implausible frame lengths"):
+            server.recv()
+    finally:
+        raw.close()
+        server.close()
+
+
+# --------------------------------------------------------------------------
+# failure surfaces as ConnectionLost naming the peer
+# --------------------------------------------------------------------------
+
+
+def test_peer_close_raises_connection_lost_with_label(pair):
+    client, server = pair
+    client.close()
+    with pytest.raises(ConnectionLost) as err:
+        server.recv()
+    assert err.value.peer == "client"
+    assert "client" in str(err.value)
+    assert isinstance(err.value, ConnectionError)
+
+
+def test_eof_mid_frame_raises_connection_lost(pair):
+    client, server = pair
+    # half a header, then death: the reader must not hang or mis-frame
+    client.sock.sendall(_HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, 1, 64, 0)[:12])
+    client.close()
+    with pytest.raises(ConnectionLost):
+        server.recv()
+
+
+def test_connect_to_dead_address_raises_connection_lost_quickly():
+    # grab a port that is guaranteed closed by binding and releasing it
+    probe = bind_listener("127.0.0.1:0")
+    addr = listener_addr(probe)
+    probe.close()
+    t0 = time.monotonic()
+    with pytest.raises(ConnectionLost) as err:
+        connect(addr, "ps0", timeout=0.4)
+    assert time.monotonic() - t0 < 5.0
+    assert err.value.peer == "ps0"
+    assert "could not connect" in str(err.value)
+
+
+def test_connect_retries_until_the_listener_appears():
+    # bootstrap ordering is unknowable: a learner may dial before its peer
+    # reaches listen(); connect() must absorb the refusals and win
+    probe = bind_listener("127.0.0.1:0")
+    addr = listener_addr(probe)
+    probe.close()
+    accepted = []
+
+    def late_listener():
+        time.sleep(0.3)
+        listener = bind_listener(addr)
+        sock, _ = listener.accept()
+        accepted.append(sock)
+        listener.close()
+
+    thread = threading.Thread(target=late_listener)
+    thread.start()
+    conn = connect(addr, "successor", timeout=10.0)
+    thread.join()
+    assert accepted
+    conn.close()
+    accepted[0].close()
+
+
+def test_parse_addr():
+    assert parse_addr("127.0.0.1:7470") == ("127.0.0.1", 7470)
+    with pytest.raises(ValueError):
+        parse_addr("no-port-here")
+    with pytest.raises(ValueError):
+        parse_addr(":123")
+
+
+# --------------------------------------------------------------------------
+# cluster spec: JSON / env round trips and the loopback allocator
+# --------------------------------------------------------------------------
+
+
+def _spec():
+    return ClusterSpec(
+        coordinator="127.0.0.1:7470",
+        workers=("127.0.0.1:7471", "127.0.0.1:7472"),
+        ps=("127.0.0.1:7480",),
+    )
+
+
+def test_cluster_spec_json_roundtrip():
+    spec = _spec()
+    doc = json.loads(spec.to_json())
+    assert set(doc) == {"coordinator", "worker", "ps"}
+    again = ClusterSpec.from_json(spec.to_json())
+    assert again == spec
+    assert again.p == 2
+    assert again.n_shards == 1
+
+
+def test_cluster_spec_env_roundtrip(monkeypatch):
+    spec = _spec()
+    for key, value in spec.env("worker", 1).items():
+        monkeypatch.setenv(key, value)
+    assert spec_from_env() == spec
+    assert role_from_env() == ("worker", 1)
+
+
+def test_spec_from_env_reads_at_file(monkeypatch, tmp_path):
+    spec = _spec()
+    path = tmp_path / "cluster.json"
+    path.write_text(spec.to_json())
+    monkeypatch.setenv(ENV_SPEC, f"@{path}")
+    monkeypatch.setenv(ENV_JOB, "ps")
+    monkeypatch.setenv(ENV_TASK, "0")
+    assert spec_from_env() == spec
+    assert role_from_env() == ("ps", 0)
+
+
+def test_allocate_loopback_binds_every_role():
+    spec, listeners = allocate_loopback(p=3, n_shards=2)
+    try:
+        assert spec.p == 3
+        assert spec.n_shards == 2
+        labels = set(listeners)
+        assert labels == {
+            "coordinator", "worker0", "worker1", "worker2", "ps0", "ps1",
+        }
+        # every advertised address is really bound (distinct live ports)
+        ports = {parse_addr(a)[1] for a in
+                 (spec.coordinator, *spec.workers, *spec.ps)}
+        assert len(ports) == 6
+    finally:
+        close_all(listeners)
+
+
+def test_command_lines_cover_every_role(tmp_path):
+    spec = _spec()
+    lines = command_lines(spec, "examples/specs/net_smoke.yml")
+    text = "\n".join(lines)
+    for role in ("coordinator", "worker:0", "worker:1", "ps:0"):
+        assert f"--role {role}" in text
+    assert ENV_SPEC in text  # the spec rides in the environment
