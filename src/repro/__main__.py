@@ -565,6 +565,46 @@ def _cmd_launch(args) -> int:
         return 2
 
 
+def _cmd_chaos(args) -> int:
+    """Soak a scenario under seeded fault schedules; exit 1 on violation."""
+    from .chaos.harness import report_json, soak
+    from .runtime import BackendCapabilityError
+    from .spec import SpecError, UnknownNameError, load_spec
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    try:
+        spec = load_spec(args.spec)
+        if spec.mode == "experiment":
+            raise ValueError(
+                "repro chaos soaks custom scenarios "
+                "(problem/algorithm/config); "
+                f"{args.spec} names an experiment family"
+            )
+        report = soak(
+            spec,
+            args.spec,
+            backends,
+            rounds=args.rounds,
+            seed=args.seed,
+            timeout=args.timeout,
+            max_step=args.max_step,
+            log=print,
+        )
+    except (SpecError, UnknownNameError, BackendCapabilityError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report_json(report) + "\n")
+        print(f"report written to {args.out}")
+    bad = sum(1 for r in report.rounds if not r.passed)
+    print(
+        f"chaos: {len(report.rounds)} rounds on {', '.join(backends)} — "
+        + ("all invariants held" if report.passed else f"{bad} VIOLATION(S)")
+    )
+    return 0 if report.passed else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -803,6 +843,54 @@ def main(argv=None) -> int:
         "(default: 120)",
     )
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="soak a custom scenario under seeded randomized fault "
+        "schedules, checking recovery invariants after every round",
+    )
+    chaos_p.add_argument("spec", help="custom scenario document (.yml/.json)")
+    chaos_p.add_argument(
+        "--rounds",
+        type=int,
+        default=10,
+        metavar="N",
+        help="fault schedules per backend (default: 10)",
+    )
+    chaos_p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="chaos seed; the same (seed, round, backend) always draws the "
+        "same schedule (default: 0)",
+    )
+    chaos_p.add_argument(
+        "--backends",
+        default="sim",
+        metavar="B1,B2",
+        help="comma-separated backends to soak (default: sim)",
+    )
+    chaos_p.add_argument(
+        "--timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-round mp/net starvation timeout in seconds (default: 60)",
+    )
+    chaos_p.add_argument(
+        "--max-step",
+        type=int,
+        default=8,
+        metavar="K",
+        help="latest local step a drawn fault may target (default: 8)",
+    )
+    chaos_p.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the full JSON report here",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -828,6 +916,9 @@ def main(argv=None) -> int:
 
     if args.command == "launch":
         return _cmd_launch(args)
+
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     if args.command == "bench":
         return _cmd_bench(args)

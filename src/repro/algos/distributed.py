@@ -179,9 +179,15 @@ class DistributedTrainer:
         if self._plan is None:
             return False
         crash_step = self._plan.crash_step(lid)
-        if crash_step is None or self._local_steps[lid] < crash_step:
-            return False
-        return self.backend.fault_crash(lid, self._local_steps[lid])
+        if crash_step is not None and self._local_steps[lid] >= crash_step:
+            return self.backend.fault_crash(lid, self._local_steps[lid])
+        disc_step = self._plan.disconnect_step(lid)
+        if disc_step is not None and self._local_steps[lid] == disc_step:
+            # sever the wire but keep running: on the net backend the next
+            # send/recv hits the cut and (under recovery="reconnect") the
+            # session resumes; backends with no wire treat it as a no-op
+            self.backend.fault_disconnect(lid, self._local_steps[lid])
+        return False
 
     def record_now(self, crossed: int, lid: int = 0) -> None:
         """Score/record ``crossed`` epoch boundaries against learner 0.
@@ -366,10 +372,13 @@ class DistributedTrainer:
     def train(self) -> TrainResult:
         """Run to completion under the active recovery policy."""
         ctx = self.fault_ctx
-        if ctx is not None and ctx.recovery == "elastic":
-            from ..faults.recovery import elastic_train
+        if ctx is not None:
+            from ..faults import recovery as _recovery  # noqa: F401  (registration)
+            from ..spec.registry import RECOVERY
 
-            return elastic_train(self)
+            driver = RECOVERY.get(ctx.recovery)
+            if driver is not None:
+                return driver(self)
         return self._train_once()
 
     def _train_once(self) -> TrainResult:

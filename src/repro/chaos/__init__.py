@@ -1,0 +1,35 @@
+"""Seeded chaos soak harness: randomized-but-reproducible fault schedules.
+
+``repro chaos SPEC --rounds N --seed S`` drives any custom
+:class:`~repro.spec.ScenarioSpec` through N rounds of generated fault
+schedules on one or more runtime backends, asserting a fixed set of
+invariants after every round:
+
+* the run either completes with finite metrics/parameters or fails with a
+  *typed* failure (:class:`LearnerFailure` / :class:`RetryBudgetExhausted`
+  / :class:`ElasticGaveUp`) — never an untyped traceback or a hang;
+* the event stream is seq-contiguous and every fault/recovery event is
+  well-formed;
+* no worker/shard process outlives its round.
+
+Schedules are pure functions of ``(seed, round, backend)`` — the same
+invocation replays the same chaos byte-for-byte, and on the sim backend the
+*event stream* is reproducible too (the report carries digests proving it).
+On an invariant violation the harness greedily minimizes the schedule to
+the smallest subset that still reproduces and prints it, so a soak failure
+arrives as a one-line repro, not a 10-round log.
+"""
+
+from .schedule import BACKEND_FAULT_POOLS, draw_schedule, schedule_digest
+from .harness import ChaosReport, RoundResult, minimize_schedule, run_round, soak
+
+__all__ = [
+    "BACKEND_FAULT_POOLS",
+    "draw_schedule",
+    "schedule_digest",
+    "ChaosReport",
+    "RoundResult",
+    "minimize_schedule",
+    "run_round",
+    "soak",
+]

@@ -1,0 +1,347 @@
+"""The chaos round runner: execute, check invariants, minimize, report."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..obs import events as _events
+from .schedule import draw_schedule, schedule_digest
+
+__all__ = [
+    "RoundResult",
+    "ChaosReport",
+    "run_round",
+    "minimize_schedule",
+    "soak",
+]
+
+#: the recovery policy a backend soaks under when the spec names none
+_DEFAULT_RECOVERY = {"sim": "elastic", "mp": "elastic", "net": "reconnect"}
+
+#: actions a RECOVERY_ACTION event may carry, with their required int fields
+_RECOVERY_SHAPES: Dict[str, tuple] = {
+    "elastic_restart": ("failed_learner", "survivors", "restarts"),
+    "reconnect_degraded": ("failed_learner", "survivors", "restarts"),
+    "reconnect": ("learner",),
+    "restart_shard": (),
+}
+
+_FAULT_KINDS = ("crash", "ps_crash", "straggle", "drop", "delay", "disconnect")
+
+#: seconds to wait for stray worker processes to be reaped after a round
+_ORPHAN_GRACE = 5.0
+
+
+@dataclass
+class RoundResult:
+    """One executed round: what ran, how it ended, what broke."""
+
+    backend: str
+    round_index: int
+    faults: List[Dict[str, Any]]
+    outcome: str = "ok"              # ok | failed:<ExcType> | violation
+    error: Optional[str] = None      # typed-failure / violation message
+    violations: List[str] = field(default_factory=list)
+    n_events: int = 0
+    schedule_digest: str = ""
+    event_digest: Optional[str] = None  # byte-stable on sim only
+    minimized: Optional[List[Dict[str, Any]]] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "backend": self.backend,
+            "round": self.round_index,
+            "faults": self.faults,
+            "outcome": self.outcome,
+            "violations": list(self.violations),
+            "n_events": self.n_events,
+            "schedule_digest": self.schedule_digest,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.event_digest is not None:
+            out["event_digest"] = self.event_digest
+        if self.minimized is not None:
+            out["minimized"] = self.minimized
+        return out
+
+
+@dataclass
+class ChaosReport:
+    """The whole soak: per-round results plus the run's identity."""
+
+    spec_path: str
+    seed: int
+    rounds: List[RoundResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.rounds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_path,
+            "seed": self.seed,
+            "passed": self.passed,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+
+def _typed_failures() -> tuple:
+    from ..faults.recovery import ElasticGaveUp
+    from ..runtime.api import LearnerFailure, RetryBudgetExhausted
+
+    return (ElasticGaveUp, RetryBudgetExhausted, LearnerFailure)
+
+
+def _orphan_processes(grace: float = _ORPHAN_GRACE) -> List[str]:
+    """Names of child processes still alive ``grace`` seconds after a round.
+
+    ``active_children`` both lists and reaps, so a cleanly-shut-down round
+    converges to [] in one or two polls.
+    """
+    deadline = time.monotonic() + grace
+    while True:
+        kids = multiprocessing.active_children()
+        if not kids:
+            return []
+        if time.monotonic() >= deadline:
+            return sorted(c.name for c in kids)
+        for child in kids:
+            child.join(timeout=0.1)
+
+
+def _check_events(events: Sequence, violations: List[str]) -> None:
+    """Seq contiguity + well-formed fault/recovery records."""
+    seqs = [e.seq for e in events]
+    if seqs and seqs != list(range(seqs[0], seqs[0] + len(seqs))):
+        violations.append(
+            f"event stream has seq gaps or reordering: {seqs[:20]}..."
+        )
+    for event in events:
+        if event.kind == _events.FAULT_INJECTED:
+            if event.data.get("fault") not in _FAULT_KINDS:
+                violations.append(
+                    f"fault_injected with unknown fault "
+                    f"{event.data.get('fault')!r} (seq {event.seq})"
+                )
+        elif event.kind == _events.RECOVERY_ACTION:
+            action = event.data.get("action")
+            if action not in _RECOVERY_SHAPES:
+                violations.append(
+                    f"recovery_action with unknown action {action!r} "
+                    f"(seq {event.seq})"
+                )
+                continue
+            for key in _RECOVERY_SHAPES[action]:
+                value = event.data.get(key)
+                # failed_learner is None when the failure was not a specific
+                # learner (a PS shard crash still shrinks the collective)
+                if key == "failed_learner" and value is None:
+                    continue
+                if not isinstance(value, int) or value < 0:
+                    violations.append(
+                        f"recovery_action {action!r} missing/invalid "
+                        f"{key}={value!r} (seq {event.seq})"
+                    )
+
+
+def _check_result(result, trainer, violations: List[str]) -> None:
+    for rec in result.records:
+        values = [rec.train_loss, rec.train_acc]
+        if rec.test_acc is not None:
+            values.append(rec.test_acc)
+        if not all(np.isfinite(v) for v in values):
+            violations.append(
+                f"non-finite metric in epoch {rec.epoch} record"
+            )
+            break
+    workloads = getattr(trainer, "workloads", None)
+    if workloads:
+        params = np.asarray(workloads[0].flat.data, np.float64)
+        if not np.all(np.isfinite(params)):
+            violations.append("non-finite parameters after the round")
+
+
+def run_round(
+    spec,
+    backend: str,
+    faults: Sequence[Dict[str, Any]],
+    round_index: int = 0,
+    timeout: float = 60.0,
+    recovery: Optional[str] = None,
+    fault_seed: int = 0,
+) -> RoundResult:
+    """Execute one schedule on one backend and check every invariant."""
+    from ..spec.compile import _build_trainer
+
+    backend_args: Dict[str, Any] = {} if backend == "sim" else {
+        "timeout": timeout
+    }
+    point = spec.with_overrides(
+        backend=backend,
+        backend_args=backend_args,
+        faults=[dict(f) for f in faults],
+        fault_seed=fault_seed,
+        recovery=recovery or spec.recovery or _DEFAULT_RECOVERY[backend],
+        events=(),
+        sweep={},
+    )
+    result = RoundResult(
+        backend=backend,
+        round_index=round_index,
+        faults=[dict(f) for f in faults],
+        schedule_digest=schedule_digest(faults),
+    )
+    sink = _events.InMemorySink()
+    bus = _events.EventBus(sinks=[sink])
+    trainer = None
+    try:
+        with _events.use_events(bus):
+            trainer = _build_trainer(point)
+            train_result = trainer.train()
+        result.outcome = "ok"
+        _check_result(train_result, trainer, result.violations)
+    except _typed_failures() as exc:
+        # chaos is allowed to exceed what recovery tolerates — a *typed*
+        # surrender is a pass, an untyped traceback is not
+        result.outcome = f"failed:{type(exc).__name__}"
+        result.error = str(exc)
+    except Exception as exc:  # noqa: BLE001 - classifying, not handling
+        result.outcome = "violation"
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.violations.append(
+            f"untyped failure: {type(exc).__name__}: {exc}"
+        )
+    finally:
+        bus.close()
+    result.n_events = len(sink.events)
+    _check_events(sink.events, result.violations)
+    if backend == "sim":
+        # virtual time + deterministic engine order: the whole stream is
+        # byte-stable, so hash it for the reproducibility contract
+        import hashlib
+
+        blob = "\n".join(e.to_json() for e in sink.events)
+        result.event_digest = hashlib.sha256(blob.encode()).hexdigest()[:16]
+    orphans = _orphan_processes()
+    if orphans:
+        result.violations.append(
+            f"orphan processes survived the round: {', '.join(orphans)}"
+        )
+    if result.violations and result.outcome != "violation":
+        result.outcome = "violation"
+    return result
+
+
+def minimize_schedule(
+    reproduces: Callable[[List[Dict[str, Any]]], bool],
+    faults: Sequence[Dict[str, Any]],
+    max_probes: int = 16,
+) -> List[Dict[str, Any]]:
+    """Greedy one-at-a-time reduction: drop any fault whose removal keeps
+    the violation alive, until no single removal does (ddmin-lite — linear
+    probes, bounded by ``max_probes`` reruns)."""
+    current = [dict(f) for f in faults]
+    probes = 0
+    changed = True
+    while changed and len(current) > 1 and probes < max_probes:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            probes += 1
+            if reproduces(candidate):
+                current = candidate
+                changed = True
+                break
+            if probes >= max_probes:
+                break
+    return current
+
+
+def soak(
+    spec,
+    spec_path: str,
+    backends: Sequence[str],
+    rounds: int,
+    seed: int,
+    timeout: float = 60.0,
+    max_step: int = 8,
+    recovery: Optional[str] = None,
+    log: Callable[[str], None] = lambda line: None,
+) -> ChaosReport:
+    """Run ``rounds`` schedules on every backend; minimize on violation."""
+    p, n_shards = _spec_shape(spec)
+    report = ChaosReport(spec_path=spec_path, seed=seed)
+    for backend in backends:
+        for index in range(rounds):
+            faults = draw_schedule(
+                seed, index, backend, p, n_shards, max_step=max_step
+            )
+            log(
+                f"[{backend} round {index}] "
+                + "; ".join(_fault_line(f) for f in faults)
+            )
+            round_seed = seed * 1_000_003 + index
+            result = run_round(
+                spec, backend, faults,
+                round_index=index, timeout=timeout,
+                recovery=recovery, fault_seed=round_seed,
+            )
+            if result.violations:
+                log(
+                    f"[{backend} round {index}] VIOLATION: "
+                    + "; ".join(result.violations)
+                )
+
+                def _reproduces(subset: List[Dict[str, Any]]) -> bool:
+                    rerun = run_round(
+                        spec, backend, subset,
+                        round_index=index, timeout=timeout,
+                        recovery=recovery, fault_seed=round_seed,
+                    )
+                    return bool(rerun.violations)
+
+                result.minimized = minimize_schedule(_reproduces, faults)
+                log(
+                    f"[{backend} round {index}] minimized repro: "
+                    + "; ".join(_fault_line(f) for f in result.minimized)
+                )
+            else:
+                log(f"[{backend} round {index}] {result.outcome}")
+            report.rounds.append(result)
+    return report
+
+
+def _spec_shape(spec) -> tuple:
+    """(p, n_shards) for a scenario — what the schedule generator targets."""
+    from ..spec import registry as reg
+
+    p = int(spec.config.get("p", 1))
+    options_cls = reg.TRAINERS.meta(spec.algorithm).get("options")
+    if options_cls is None:
+        return p, 0
+    return p, int(getattr(options_cls(**spec.options), "n_shards", 0))
+
+
+def _fault_line(fault: Dict[str, Any]) -> str:
+    """Render one fault dict in the CLI grammar (``kind:k=v,k=v``)."""
+    kind = fault["kind"]
+    rest = ",".join(
+        f"{k}={fault[k]}" for k in sorted(fault) if k != "kind"
+    )
+    return f"{kind}:{rest}" if rest else kind
+
+
+def report_json(report: ChaosReport) -> str:
+    return json.dumps(report.to_dict(), indent=2, sort_keys=True)

@@ -1,0 +1,126 @@
+"""Deterministic fault-schedule generation.
+
+A schedule is a list of fault dicts in the :class:`repro.faults.Fault`
+grammar, drawn from a per-backend pool by a generator seeded with
+``SeedSequence([seed, round_index, pool_id])`` — the same (seed, round,
+backend) always yields the same schedule, independent of which other
+backends or rounds ran before it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["BACKEND_FAULT_POOLS", "draw_schedule", "schedule_digest"]
+
+#: which fault kinds make sense per backend.  ``disconnect`` needs a wire to
+#: cut (net); ``ps_crash`` needs the in-process shard supervisor, which the
+#: net backend runs as separate OS processes it cannot respawn.
+BACKEND_FAULT_POOLS: Dict[str, tuple] = {
+    "sim": ("crash", "straggle", "delay", "drop", "ps_crash"),
+    "mp": ("crash", "straggle", "delay", "drop"),
+    "net": ("crash", "disconnect", "straggle", "delay", "drop"),
+}
+
+#: stable pool ids so adding a backend never reshuffles existing streams
+_POOL_IDS = {"sim": 0, "mp": 1, "net": 2}
+
+#: odds that a net round draws a partition (several learners disconnecting
+#: at the same step) instead of independent faults
+_PARTITION_RATE = 0.25
+
+
+def draw_schedule(
+    seed: int,
+    round_index: int,
+    backend: str,
+    p: int,
+    n_shards: int = 0,
+    max_step: int = 8,
+) -> List[Dict[str, Any]]:
+    """One round's fault schedule — a pure function of the arguments."""
+    if backend not in BACKEND_FAULT_POOLS:
+        raise ValueError(
+            f"no chaos fault pool for backend {backend!r} "
+            f"(known: {', '.join(sorted(BACKEND_FAULT_POOLS))})"
+        )
+    pool = [
+        k for k in BACKEND_FAULT_POOLS[backend]
+        if not (k == "ps_crash" and n_shards < 1)
+    ]
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, round_index, _POOL_IDS[backend]])
+    )
+
+    faults: List[Dict[str, Any]] = []
+    if backend == "net" and p >= 2 and rng.random() < _PARTITION_RATE:
+        # a partition: k learners lose every connection at the same step —
+        # the reconnect policy must heal them all (or degrade in order)
+        k = int(rng.integers(2, p + 1))
+        step = int(rng.integers(1, max_step + 1))
+        ranks = sorted(rng.choice(p, size=k, replace=False).tolist())
+        for rank in ranks:
+            faults.append(
+                {"kind": "disconnect", "learner": int(rank), "step": step}
+            )
+        return faults
+
+    n_faults = int(rng.integers(1, 4))
+    killed: set = set()
+    for _ in range(n_faults):
+        kind = pool[int(rng.integers(0, len(pool)))]
+        learner = int(rng.integers(0, p))
+        step = int(rng.integers(1, max_step + 1))
+        if kind in ("crash", "disconnect"):
+            # never schedule the whole collective to die, and at most one
+            # death per learner (the plan keys crash steps by learner)
+            if learner in killed or len(killed) >= max(1, p - 1):
+                continue
+            killed.add(learner)
+            faults.append({"kind": kind, "learner": learner, "step": step})
+        elif kind == "straggle":
+            faults.append({
+                "kind": "straggle",
+                "learner": learner,
+                "factor": float(round(1.5 + 2.5 * rng.random(), 2)),
+                "start": step,
+                "stop": step + int(rng.integers(1, 4)),
+            })
+        elif kind in ("drop", "delay"):
+            fault: Dict[str, Any] = {
+                "kind": kind,
+                "learner": learner,
+                "nth": int(rng.integers(0, max_step)),
+                "count": int(rng.integers(1, 3)),
+            }
+            if kind == "delay":
+                # kept small: on mp/net this is a real sleep in the reply path
+                fault["seconds"] = float(round(0.05 + 0.2 * rng.random(), 3))
+            faults.append(fault)
+        elif kind == "ps_crash":
+            faults.append({
+                "kind": "ps_crash",
+                "shard": int(rng.integers(0, n_shards)),
+                "push": int(rng.integers(1, 4 * max_step)),
+            })
+    if not faults:
+        # every draw was suppressed by the kill guard — fall back to the
+        # mildest fault so a round is never silently fault-free
+        faults.append({
+            "kind": "straggle",
+            "learner": int(rng.integers(0, p)),
+            "factor": 2.0,
+            "start": 1,
+            "stop": 3,
+        })
+    return faults
+
+
+def schedule_digest(faults: Sequence[Dict[str, Any]]) -> str:
+    """A short stable digest of a schedule (canonical-JSON sha256)."""
+    blob = json.dumps(list(faults), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]

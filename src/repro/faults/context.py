@@ -23,7 +23,7 @@ from .plan import FaultPlan
 
 __all__ = ["FaultContext", "use_faults", "resolve_fault_context", "RECOVERY_POLICIES"]
 
-RECOVERY_POLICIES = ("fail_fast", "elastic", "restart_shard")
+RECOVERY_POLICIES = ("fail_fast", "elastic", "restart_shard", "reconnect")
 
 
 @dataclass
@@ -42,6 +42,12 @@ class FaultContext:
     ``restart_shard``
         On parameter-server shard death, respawn the shard from its last
         periodic snapshot and keep the learners running (Downpour-style).
+    ``reconnect``
+        (net backend) A learner that loses its TCP connections re-attaches
+        to the live session within ``reconnect_deadline`` and replays
+        un-acked frames — no respawn, all ``p`` learners survive.  When the
+        deadline expires or the session is unrecoverable, degrades to
+        ``elastic`` (``p−1`` survivors restart from the last checkpoint).
     """
 
     plan: FaultPlan = field(default_factory=FaultPlan)

@@ -20,6 +20,10 @@ Fault kinds
                ``rate`` (decided by a counter-based hash of the plan seed,
                so both backends and repeated runs agree).
 ``delay``      delay the replies to the same selection by ``seconds``.
+``disconnect`` sever learner ``learner``'s TCP connections after ``step``
+               local steps (net backend: the process stays alive and the
+               ``reconnect`` recovery policy can resume the session; other
+               backends treat it as a no-op since there is no wire to cut).
 
 The string grammar the CLI uses (``repro run EXP --fault ...``) is
 ``kind:key=value,key=value`` with multiple faults separated by ``;``::
@@ -38,7 +42,7 @@ import numpy as np
 
 __all__ = ["Fault", "FaultPlan", "RetryPolicy", "parse_faults"]
 
-FAULT_KINDS = ("crash", "ps_crash", "straggle", "drop", "delay")
+FAULT_KINDS = ("crash", "ps_crash", "straggle", "drop", "delay", "disconnect")
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,10 @@ class Fault:
                 raise ValueError(f"rate must be in (0, 1], got {self.rate}")
         if self.kind == "delay" and self.seconds <= 0.0:
             raise ValueError("delay fault needs seconds > 0")
+        if self.kind == "disconnect" and (
+            self.learner is None or self.step is None
+        ):
+            raise ValueError("disconnect fault needs learner= and step=")
 
 
 def _hash_uniform(seed: int, *words: int) -> float:
@@ -132,6 +140,24 @@ class FaultPlan:
         out: Dict[int, int] = {}
         for f in self.faults:
             if f.kind == "crash":
+                prev = out.get(f.learner)
+                out[f.learner] = f.step if prev is None else min(prev, f.step)
+        return out
+
+    def disconnect_step(self, learner: int) -> Optional[int]:
+        """The local step after which ``learner``'s connections are severed,
+        or None."""
+        steps = [
+            f.step for f in self.faults
+            if f.kind == "disconnect" and f.learner == learner
+        ]
+        return min(steps) if steps else None
+
+    def disconnect_learners(self) -> Dict[int, int]:
+        """``{learner: step}`` for every disconnect fault."""
+        out: Dict[int, int] = {}
+        for f in self.faults:
+            if f.kind == "disconnect":
                 prev = out.get(f.learner)
                 out[f.learner] = f.step if prev is None else min(prev, f.step)
         return out
@@ -207,11 +233,21 @@ class RetryPolicy:
     :class:`~repro.runtime.RetryBudgetExhausted`.  The sim backend charges
     the same schedule as virtual time, so retry cost shows up identically in
     both substrates.
+
+    ``jitter`` spreads real (wall-clock) retries to desynchronize retry
+    storms: :meth:`jittered_backoff` scales each sleep by a factor uniform in
+    ``[1 - jitter, 1 + jitter]``, with the uniform draw supplied by the
+    caller so both repeats of a seeded run sleep identically.  The sim
+    backend keeps charging the deterministic :meth:`backoff` schedule.
+    ``deadline_seconds`` caps the *total* time a client may spend retrying
+    one request (None = bounded only by the transport timeout).
     """
 
     max_retries: int = 3
     base_seconds: float = 0.05
     multiplier: float = 2.0
+    jitter: float = 0.0
+    deadline_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -220,10 +256,22 @@ class RetryPolicy:
             raise ValueError(f"base_seconds must be >= 0, got {self.base_seconds}")
         if self.multiplier < 1.0:
             raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError(
+                f"deadline_seconds must be > 0, got {self.deadline_seconds}"
+            )
 
     def backoff(self, attempt: int) -> float:
         """Sleep before retry number ``attempt + 1`` (attempt is 0-based)."""
         return self.base_seconds * self.multiplier**attempt
+
+    def jittered_backoff(self, attempt: int, u: float) -> float:
+        """:meth:`backoff` scaled by ``[1 - jitter, 1 + jitter]`` at uniform
+        draw ``u`` in [0, 1) — pass :func:`_hash_uniform` of (seed, rank,
+        seq, attempt) for a deterministic, rank-decorrelated schedule."""
+        return self.backoff(attempt) * (1.0 - self.jitter + 2.0 * self.jitter * u)
 
     def total_backoff(self, attempts: int) -> float:
         return sum(self.backoff(i) for i in range(attempts))

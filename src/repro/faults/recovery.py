@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algos.base import TrainResult
     from ..algos.distributed import DistributedTrainer
 
-__all__ = ["elastic_train", "ElasticGaveUp"]
+__all__ = ["elastic_train", "reconnect_train", "ElasticGaveUp"]
 
 # fail_fast and restart_shard have no driver function: the first is the
 # trainers' default propagate-the-failure behaviour, the second is handled
@@ -71,8 +71,33 @@ def elastic_train(trainer: "DistributedTrainer") -> "TrainResult":
     remain.  Returns the successful attempt's :class:`TrainResult`; the
     total restart count is recorded on the surviving trainer's obs metrics.
     """
+    return _restart_loop(trainer, action="elastic_restart")
+
+
+@RECOVERY.register(
+    "reconnect",
+    description="(net) disconnected learners re-attach to the live session; "
+    "degrades to elastic when the deadline expires",
+)
+def reconnect_train(trainer: "DistributedTrainer") -> "TrainResult":
+    """Session-resumable recovery with elastic degradation.
+
+    The in-run half lives in the backend: under ``recovery="reconnect"`` the
+    net backend keeps a disconnected learner's seat open for
+    ``reconnect_deadline`` seconds, resumes its session (replaying un-acked
+    frames), and ``_train_once()`` simply completes with all ``p`` learners
+    — no restart, no trainer-visible failure.  This driver only handles the
+    *degraded* path: when resume fails (deadline expired, replay buffer
+    evicted, or the learner really died) the surfaced
+    :class:`LearnerFailure` drops into the same shrink-and-restart loop as
+    ``elastic``, labelled ``reconnect_degraded`` in the event stream.
+    """
+    return _restart_loop(trainer, action="reconnect_degraded")
+
+
+def _restart_loop(trainer: "DistributedTrainer", action: str) -> "TrainResult":
     ctx = trainer.fault_ctx
-    assert ctx is not None and ctx.recovery == "elastic"
+    assert ctx is not None and ctx.recovery in ("elastic", "reconnect")
     current = trainer
     restarts = 0
     while True:
@@ -88,7 +113,7 @@ def elastic_train(trainer: "DistributedTrainer") -> "TrainResult":
                 plan=ctx.plan.survivor_plan(failure.learner_id),
                 resume=True,
             )
-            _note_recovery(current, failure, restarts, q)
+            _note_recovery(current, failure, restarts, q, action)
             current = current.rebuild(p=q, fault_ctx=survivor_ctx)
 
 
@@ -97,6 +122,7 @@ def _note_recovery(
     failure: LearnerFailure,
     restarts: int,
     q: int,
+    action: str = "elastic_restart",
 ) -> None:
     """Emit the recovery decision as obs metrics on the failed attempt."""
     from .. import obs
@@ -105,7 +131,7 @@ def _note_recovery(
     _events.emit(
         _events.RECOVERY_ACTION,
         t=trainer.backend.clock(),
-        action="elastic_restart",
+        action=action,
         failed_learner=failure.learner_id,
         survivors=q,
         restarts=restarts,
@@ -114,7 +140,7 @@ def _note_recovery(
     if sess is None:
         return
     reg = sess.registry
-    reg.counter("faults.recoveries_total", action="elastic_restart").inc()
+    reg.counter("faults.recoveries_total", action=action).inc()
     reg.gauge("faults.survivor_learners").set(float(q))
     reg.counter("faults.restarts_total").inc()
     if failure.detection_seconds is not None:

@@ -54,7 +54,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 import numpy as np
 
-from ..faults.plan import FaultPlan, RetryPolicy
+from ..faults.plan import FaultPlan, RetryPolicy, _hash_uniform
 from ..obs import events as _events
 from ..ps.server import ShardLayout
 from ..sim.trace import Span
@@ -79,12 +79,16 @@ from .frames import (
     PS_REP,
     PS_REQ,
     RESULT,
+    RESUME,
+    RESUME_OK,
     STATS,
     STOP,
     WELCOME,
     Conn,
     ConnectionLost,
     ProtocolError,
+    SessionConn,
+    SessionUnrecoverable,
     bind_listener,
     connect,
 )
@@ -95,8 +99,9 @@ _JOIN_GRACE = 5.0        # seconds to wait for an already-signalled process
 _DEAD_GRACE = 1.0        # drain grace once every awaited rank is known dead
 _CRASH_EXIT = 3          # exit code of a plan-crashed learner
 _PS_CRASH_EXIT = 4       # exit code of a plan-crashed parameter-server shard
-_HEARTBEAT_PERIOD = 0.25  # worker → coordinator liveness stamp interval
-_STALE_AFTER = 5.0       # heartbeat silence that counts as death
+_HEARTBEAT_PERIOD = 0.25  # default worker → coordinator liveness interval
+_STALE_AFTER = 5.0       # default heartbeat silence that counts as death
+_RECONNECT_DEADLINE = 10.0  # default resume window under recovery=reconnect
 _POLL = 0.1              # monitor poll interval
 
 
@@ -128,8 +133,13 @@ class NetCollective(Collective):
         self._spec: Optional[ClusterSpec] = None
         self._listeners: Dict[int, Optional[socket.socket]] = {}
         self._rank: Optional[int] = None
-        self._next: Optional[Conn] = None
-        self._prev: Optional[Conn] = None
+        self._next = None  # Conn, or SessionConn under recovery=reconnect
+        self._prev = None
+        self._session: Optional[str] = None
+        self._resume_deadline = _RECONNECT_DEADLINE
+        self._resume_retry = RetryPolicy()
+        self._resume_seed = 0
+        self._resumes = 0  # per-session resume budget consumed (both links)
 
     def install(self, spec: ClusterSpec,
                 listeners: Dict[int, socket.socket]) -> None:
@@ -137,6 +147,19 @@ class NetCollective(Collective):
         listeners the children inherit).  Runs in the parent, pre-fork."""
         self._spec = spec
         self._listeners = dict(listeners)
+
+    def configure_resume(self, session: str, deadline: float,
+                         retry: RetryPolicy, seed: int) -> None:
+        """Enable session-resumable ring links (recovery=reconnect).
+
+        Must run before :meth:`_setup` joins the ring — the links are
+        wrapped in :class:`SessionConn` so seq numbering and the replay
+        buffer survive socket replacement.
+        """
+        self._session = session
+        self._resume_deadline = deadline
+        self._resume_retry = retry
+        self._resume_seed = seed
 
     def _setup(self, rank: int) -> None:
         """Join the ring (first collective call in this process only)."""
@@ -151,10 +174,11 @@ class NetCollective(Collective):
         succ = (rank + 1) % self.p
         # connect-then-accept is deadlock-free: the SYN queues in the
         # successor's listen backlog even before it reaches accept()
-        self._next = connect(
+        nxt = connect(
             self._spec.workers[succ], f"learner{succ}", timeout=self.timeout
         )
-        self._next.send(HELLO, {"rank": rank})
+        # the ring handshake rides at seq 0, outside the session stream
+        nxt.send(HELLO, {"rank": rank}, seq=0)
         listener.settimeout(self.timeout)
         try:
             sock, _ = listener.accept()
@@ -165,10 +189,15 @@ class NetCollective(Collective):
                 "deadlocked"
             ) from None
         prev = (rank - 1) % self.p
-        self._prev = Conn(sock, f"learner{prev}")
+        prv = Conn(sock, f"learner{prev}")
+        if self._session is not None:
+            self._next = SessionConn(nxt, self._session)
+            self._prev = SessionConn(prv, self._session)
+        else:
+            self._next, self._prev = nxt, prv
         self._prev.settimeout(self.timeout)
         self._next.settimeout(self.timeout)
-        self._prev.recv()  # the predecessor's HELLO
+        self._prev.recv()  # the predecessor's HELLO (seq 0)
 
     def teardown_rank(self) -> None:
         """Close this process's ring endpoints (worker exit path)."""
@@ -176,6 +205,184 @@ class NetCollective(Collective):
             if conn is not None:
                 conn.close()
         self._next = self._prev = None
+
+    # -- session resume (recovery=reconnect) --------------------------------
+
+    def _resume_pause(self, attempt: int) -> float:
+        """Jittered exponential backoff between re-dial attempts, seeded per
+        (rank, resume, attempt) so ranks desynchronize deterministically."""
+        u = _hash_uniform(self._resume_seed, self._rank, self._resumes, attempt)
+        return min(0.5, self._resume_retry.jittered_backoff(attempt, u))
+
+    def _budget_ok(self) -> bool:
+        """Per-session resume budget, unified with the PS retry policy: one
+        session may repair its links max_retries + 1 times in total."""
+        return self._resumes < self._resume_retry.max_retries + 1
+
+    def _send_next(self, op: Callable[[Any], Any]) -> None:
+        """Run ``op(self._next)``; on connection loss, repair the outgoing
+        link and rely on the replay buffer (the frame was recorded before
+        the failed send, so the repair already re-delivered it)."""
+        try:
+            op(self._next)
+        except ConnectionLost as exc:
+            if self._session is None:
+                raise
+            self._repair_next(exc)
+
+    def _recv_prev(self):
+        """Receive from the predecessor, re-accepting the incoming link on
+        connection loss (duplicate replayed frames are skipped by the
+        SessionConn)."""
+        while True:
+            try:
+                return self._prev.recv()
+            except ConnectionLost as exc:
+                if self._session is None:
+                    raise
+                self._repair_prev(exc)
+
+    def _try_service_resume(self, window: float) -> bool:
+        """Answer one incoming RESUME on our own listener (repairing the
+        predecessor link) while we ourselves wait on an outgoing repair.
+
+        This is what breaks the symmetric deadlock: when *both* of a pair's
+        links die at once (any p=2 cut, or a full partition), both ranks hit
+        the failed *send* first and enter :meth:`_repair_next` — each dialing
+        a peer that is itself dialing, with nobody in accept.  Servicing the
+        listener between RESUME_OK polls lets the two dials pair up.
+        """
+        listener = self._listeners.get(self._rank)
+        if listener is None:
+            return False
+        prev = (self._rank - 1) % self.p
+        listener.settimeout(window)
+        try:
+            sock, _ = listener.accept()
+        except (socket.timeout, OSError):
+            return False
+        conn = Conn(sock, f"learner{prev}")
+        try:
+            conn.settimeout(1.0)
+            frame = conn.recv()
+            if (
+                frame.kind != RESUME
+                or frame.meta.get("sess") != self._session
+                or int(frame.meta.get("rank", -1)) != prev
+            ):
+                conn.close()
+                return False
+            conn.send(RESUME_OK, {"last": self._prev.last_recv_seq}, seq=0)
+            conn.settimeout(self.timeout)
+        except (ConnectionLost, ProtocolError, socket.timeout):
+            conn.close()
+            return False
+        self._prev.adopt(conn)
+        return True
+
+    def _repair_next(self, cause: ConnectionLost) -> None:
+        """Re-dial the successor and replay un-acked frames.
+
+        The successor answers RESUME with RESUME_OK carrying the last seq it
+        processed from us; everything newer is re-sent.  One outgoing dial is
+        kept alive across RESUME_OK polls (re-dialing would strand stale
+        connections in the peer's backlog); between polls the rank services
+        its own listener so symmetric double-link cuts converge.  Gives up
+        (re-raises the original loss) when the reconnect deadline or the
+        per-session budget expires, or the replay buffer no longer covers
+        the gap.
+        """
+        if not self._budget_ok():
+            raise cause
+        self._resumes += 1
+        succ = (self._rank + 1) % self.p
+        deadline = time.monotonic() + self._resume_deadline
+        attempt = 0
+        pending: Optional[Conn] = None
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if pending is not None:
+                    pending.close()
+                raise cause
+            try:
+                if pending is None:
+                    pending = connect(
+                        self._spec.workers[succ], f"learner{succ}",
+                        timeout=min(remaining, 1.0),
+                    )
+                    pending.send(
+                        RESUME,
+                        {"rank": self._rank, "sess": self._session},
+                        seq=0,
+                    )
+                pending.settimeout(0.25)
+                ok = pending.recv()
+                if ok.kind != RESUME_OK:
+                    pending.close()
+                    raise cause
+                pending.settimeout(self.timeout)
+                self._next.adopt(pending)
+                self._next.replay_from(int(ok.meta.get("last", 0)))
+                return
+            except SessionUnrecoverable:
+                raise cause
+            except socket.timeout:
+                # the successor has not answered yet — it may itself be
+                # blocked dialing *us*: service our listener so it can pair
+                self._try_service_resume(0.05)
+            except (ConnectionLost, ProtocolError):
+                if pending is not None:
+                    pending.close()
+                pending = None
+                pause = self._resume_pause(attempt)
+                attempt += 1
+                time.sleep(min(pause, max(0.0, deadline - time.monotonic())))
+
+    def _repair_prev(self, cause: ConnectionLost) -> None:
+        """Re-accept the predecessor's replacement connection.
+
+        Validates the RESUME handshake (session token + expected rank) and
+        answers with the last seq we processed so the dialer replays only
+        what we missed.  Gives up when the reconnect deadline expires.
+        """
+        if not self._budget_ok():
+            raise cause
+        self._resumes += 1
+        prev = (self._rank - 1) % self.p
+        listener = self._listeners.get(self._rank)
+        if listener is None:
+            raise cause
+        deadline = time.monotonic() + self._resume_deadline
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise cause
+            listener.settimeout(remaining)
+            try:
+                sock, _ = listener.accept()
+            except (socket.timeout, OSError):
+                raise cause
+            conn = Conn(sock, f"learner{prev}")
+            try:
+                conn.settimeout(max(0.05, deadline - time.monotonic()))
+                frame = conn.recv()
+                if (
+                    frame.kind != RESUME
+                    or frame.meta.get("sess") != self._session
+                    or int(frame.meta.get("rank", -1)) != prev
+                ):
+                    conn.close()
+                    continue
+                conn.send(
+                    RESUME_OK, {"last": self._prev.last_recv_seq}, seq=0
+                )
+                conn.settimeout(self.timeout)
+            except (ConnectionLost, ProtocolError, socket.timeout):
+                conn.close()
+                continue
+            self._prev.adopt(conn)
+            return
 
     def _fail(self, exc: BaseException, opname: str, rank: int) -> LearnerFailure:
         if isinstance(exc, ConnectionLost):
@@ -204,12 +411,14 @@ class NetCollective(Collective):
         try:
             if rank == root:
                 out = np.array(array, copy=True)
-                self._next.send_tensor(DATA, out, {"op": "bc"})
+                self._send_next(lambda c: c.send_tensor(DATA, out, {"op": "bc"}))
             else:
-                frame = self._prev.recv()
+                frame = self._recv_prev()
                 out = np.array(frame.tensor(), copy=True)
                 if (rank + 1) % self.p != root:
-                    self._next.send_tensor(DATA, out, {"op": "bc"})
+                    self._send_next(
+                        lambda c: c.send_tensor(DATA, out, {"op": "bc"})
+                    )
         except (ConnectionLost, socket.timeout) as exc:
             raise self._fail(exc, "broadcast", rank) from None
         self.bytes_moved += float(out.nbytes)
@@ -237,10 +446,11 @@ class NetCollective(Collective):
                 s_chunk = (rank - step) % self.p
                 r_chunk = (rank - step - 1) % self.p
                 lo, hi = bounds[s_chunk]
-                self._next.send_tensor(
-                    DATA, flat[lo:hi], {"op": "ar", "c": s_chunk}
+                chunk = np.ascontiguousarray(flat[lo:hi])
+                self._send_next(
+                    lambda c: c.send_tensor(DATA, chunk, {"op": "ar", "c": s_chunk})
                 )
-                frame = self._prev.recv()
+                frame = self._recv_prev()
                 lo, hi = bounds[r_chunk]
                 if hi > lo:
                     flat[lo:hi] += frame.tensor()
@@ -249,10 +459,11 @@ class NetCollective(Collective):
                 s_chunk = (rank - step + 1) % self.p
                 r_chunk = (rank - step) % self.p
                 lo, hi = bounds[s_chunk]
-                self._next.send_tensor(
-                    DATA, flat[lo:hi], {"op": "ag", "c": s_chunk}
+                chunk = np.ascontiguousarray(flat[lo:hi])
+                self._send_next(
+                    lambda c: c.send_tensor(DATA, chunk, {"op": "ag", "c": s_chunk})
                 )
-                frame = self._prev.recv()
+                frame = self._recv_prev()
                 lo, hi = bounds[r_chunk]
                 if hi > lo:
                     flat[lo:hi] = frame.tensor()
@@ -273,10 +484,11 @@ class NetCollective(Collective):
         cur_src, cur = rank, item
         try:
             for _ in range(self.p - 1):
-                self._next.send_obj(
-                    DATA, cur, {"op": "gather", "src": cur_src, "tag": str(tag)}
-                )
-                frame = self._prev.recv()
+                piece, src = cur, cur_src
+                self._send_next(lambda c: c.send_obj(
+                    DATA, piece, {"op": "gather", "src": src, "tag": str(tag)}
+                ))
+                frame = self._recv_prev()
                 cur_src = int(frame.meta["src"])
                 cur = frame.obj()
                 pieces[cur_src] = cur
@@ -502,6 +714,22 @@ class NetPSClient(PSClientLike):
             self._conns[sid] = None
             return None
 
+    def _backoff_pause(self, attempt: int, seq: int) -> float:
+        """One jittered backoff sleep before resend number ``attempt + 1``.
+
+        Deterministic per (plan seed, rank, seq, attempt) — repeated runs
+        sleep identically — but decorrelated across ranks, so a dead shard
+        does not synchronize a resend storm.  Accumulated in
+        ``ps.backoff_seconds`` for the obs metrics.
+        """
+        ps = self.ps
+        retry = ps.retry
+        seed = ps.plan.seed if ps.plan is not None else 0
+        u = _hash_uniform(seed, self.rank, seq, attempt)
+        pause = retry.jittered_backoff(attempt, u)
+        ps.backoff_seconds += pause
+        return pause
+
     def _request(self, sid: int, op: str, payload, extra=None, drops: int = 0):
         ps = self.ps
         retry = ps.retry
@@ -512,9 +740,12 @@ class NetPSClient(PSClientLike):
             meta["alpha"] = extra
         # the overall patience budget is spread over the send + every resend,
         # so a genuinely dead shard exhausts the typed retry budget in about
-        # ps.timeout seconds total rather than hanging a bare recv
+        # ps.timeout seconds total rather than hanging a bare recv; an
+        # explicit retry.deadline_seconds caps the total patience harder
         attempts_allowed = retry.max_retries + 1
         per_wait = max(0.05, ps.timeout / attempts_allowed)
+        patience = retry.deadline_seconds
+        started = time.monotonic()
         attempt = 0  # resends performed so far
         waited = 0.0
         conn = self._send(sid, meta, payload, seq, per_wait)
@@ -535,16 +766,22 @@ class NetPSClient(PSClientLike):
                 time.sleep(per_wait)
             if frame is None:
                 waited += per_wait
-                if attempt >= retry.max_retries:
+                out_of_time = (
+                    patience is not None
+                    and time.monotonic() - started >= patience
+                )
+                if attempt >= retry.max_retries or out_of_time:
                     raise RetryBudgetExhausted(
                         self.rank,
                         attempt,
                         f"parameter-server shard {sid} gave no reply to "
                         f"{op!r} after {attempt + 1} attempts "
-                        f"(~{waited:.1f}s waited); learner{self.rank} "
+                        f"(~{waited:.1f}s waited"
+                        f"{', retry deadline exceeded' if out_of_time else ''}"
+                        f"); learner{self.rank} "
                         "exhausted its retry budget and the run deadlocked",
                     ) from None
-                time.sleep(retry.backoff(attempt))
+                time.sleep(self._backoff_pause(attempt, seq))
                 attempt += 1
                 ps.retries += 1
                 conn = self._send(sid, meta, payload, seq, per_wait)
@@ -565,7 +802,7 @@ class NetPSClient(PSClientLike):
                         f"exhausted its retry budget after {attempt + 1} "
                         "attempts and the run deadlocked",
                     )
-                time.sleep(retry.backoff(attempt))
+                time.sleep(self._backoff_pause(attempt, seq))
                 attempt += 1
                 ps.retries += 1
                 conn = self._send(sid, meta, payload, seq, per_wait)
@@ -656,7 +893,9 @@ class NetParameterServer(ParameterServerHandle):
         self.addrs: Tuple[str, ...] = tuple(addrs)
         self.bytes_moved = 0.0  # per-process accumulator after fork
         self.retries = 0        # per-process resend counter (client side)
+        self.backoff_seconds = 0.0  # per-process retry backoff slept
         self.fault_counts: Dict[str, int] = {}  # per-process injection counts
+        self._clients: List[NetPSClient] = []  # this process's clients
         self.plan: Optional[FaultPlan] = None
         self.retry = RetryPolicy()
         self.crash_after: Dict[int, int] = {}
@@ -691,7 +930,9 @@ class NetParameterServer(ParameterServerHandle):
         self._x0[:] = x0
 
     def client(self, rank: int) -> NetPSClient:
-        return NetPSClient(self, rank)
+        client = NetPSClient(self, rank)
+        self._clients.append(client)
+        return client
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -796,12 +1037,16 @@ class _ControlPlane:
     """
 
     def __init__(self, listener: socket.socket, p: int, expect_ps: int,
-                 bus, ps_init: Optional[Callable] = None) -> None:
+                 bus, ps_init: Optional[Callable] = None,
+                 session: str = "",
+                 clock: Callable[[], float] = lambda: 0.0) -> None:
         self.listener = listener
         self.p = p
         self.expect_ps = expect_ps
         self.bus = bus
         self.ps_init = ps_init
+        self.session = session  # non-empty iff recovery=reconnect
+        self.clock = clock
         self.cond = threading.Condition()
         self.conns: Dict[int, Conn] = {}
         self.ever_connected: set = set()
@@ -810,6 +1055,8 @@ class _ControlPlane:
         self.errors: Dict[int, dict] = {}
         self.finished: set = set()
         self.dead: Dict[int, float] = {}  # rank -> detection latency
+        self.last_ctrl_seq: Dict[int, int] = {}  # per-rank processed seq
+        self.resumes: Dict[int, int] = {}  # rank -> successful re-attaches
         self._ps_ready = 0
         self._welcomed = False
         self._closing = False
@@ -842,6 +1089,9 @@ class _ControlPlane:
         except (ConnectionLost, ProtocolError, socket.timeout):
             conn.close()
             return
+        if hello.kind == RESUME:
+            self._serve_resume(conn, hello)
+            return
         if hello.kind != HELLO:
             conn.close()
             return
@@ -872,6 +1122,51 @@ class _ControlPlane:
             self._maybe_welcome()
         self._reader(task, conn)
 
+    def _serve_resume(self, conn: Conn, frame) -> None:
+        """A worker re-attaching its control session after a disconnect.
+
+        Validate the session token, re-bind the rank's connection, answer
+        with the last seq we processed (the worker replays everything
+        newer), and emit the recovery event the run log promises.
+        """
+        task = int(frame.meta.get("task", -1))
+        sess = frame.meta.get("sess")
+        if (
+            not self.session
+            or sess != self.session
+            or not (0 <= task < self.p)
+        ):
+            conn.close()
+            return
+        with self.cond:
+            if task in self.dead or task in self.finished:
+                # the seat was already surrendered (deadline expired) or the
+                # run finished without this worker — no resume
+                conn.close()
+                return
+            conn.peer = f"learner{task}"
+            last = self.last_ctrl_seq.get(task, 0)
+            try:
+                conn.send(RESUME_OK, {"last": last}, seq=0)
+            except ConnectionLost:
+                conn.close()
+                return
+            self.conns[task] = conn
+            self.ever_connected.add(task)
+            self.last_seen[task] = time.monotonic()
+            self.resumes[task] = self.resumes.get(task, 0) + 1
+            self.cond.notify_all()
+        _events.emit(
+            _events.RECOVERY_ACTION,
+            t=self.clock(),
+            action="reconnect",
+            mode="reconnect",
+            learner=task,
+            resumed_at_seq=last,
+            resumes=self.resumes[task],
+        )
+        self._reader(task, conn)
+
     def _maybe_welcome(self) -> None:  # caller holds self.cond
         if (
             not self._welcomed
@@ -880,10 +1175,11 @@ class _ControlPlane:
         ):
             self._welcomed = True
             for rank, conn in self.conns.items():
+                meta = {"events": self.bus is not None, "rank": rank}
+                if self.session:
+                    meta["sess"] = self.session
                 try:
-                    conn.send(
-                        WELCOME, {"events": self.bus is not None, "rank": rank}
-                    )
+                    conn.send(WELCOME, meta)
                 except ConnectionLost:
                     pass
             self.cond.notify_all()
@@ -894,14 +1190,24 @@ class _ControlPlane:
                 frame = conn.recv()
             except (ConnectionLost, ProtocolError, OSError):
                 # EOF comes only after every buffered frame (incl. a final
-                # RESULT) was delivered, so finish-before-death ordering holds
+                # RESULT) was delivered, so finish-before-death ordering
+                # holds.  The identity guard matters under resume: a stale
+                # reader noticing its old socket died must not unseat the
+                # replacement connection a _serve_resume just installed
                 with self.cond:
-                    self.conns.pop(rank, None)
+                    if self.conns.get(rank) is conn:
+                        self.conns.pop(rank, None)
                     self.cond.notify_all()
                 conn.close()
                 return
             with self.cond:
                 self.last_seen[rank] = time.monotonic()
+                if frame.seq > 0:
+                    # session streams are contiguous: anything at or below
+                    # the high-water mark is a replayed duplicate
+                    if frame.seq <= self.last_ctrl_seq.get(rank, 0):
+                        continue
+                    self.last_ctrl_seq[rank] = frame.seq
             if frame.kind == HEARTBEAT:
                 continue
             if frame.kind == EVENT:
@@ -937,6 +1243,95 @@ class _ControlPlane:
 # -- the worker process --------------------------------------------------------
 
 
+class _WorkerCtrl:
+    """The worker's control connection, session-resumable when the WELCOME
+    carried a session token (recovery=reconnect).
+
+    All control-plane senders (heartbeat thread, event sink, final
+    RESULT/ERROR) go through here; on connection loss one of them wins the
+    resume lock, re-dials the coordinator with RESUME, adopts the fresh
+    socket into the :class:`SessionConn`, and replays un-acked frames.
+    Session-stream frames are recorded *before* the failed send, so the
+    replay already re-delivered them — senders never re-run after a resume.
+    """
+
+    def __init__(self, backend: "NetBackend", lid: int,
+                 sess: SessionConn) -> None:
+        self.backend = backend
+        self.lid = lid
+        self.sess = sess
+        self._lock = threading.Lock()
+        self._gen = 0  # bumped on every successful resume
+        self._given_up = False
+
+    def _guarded(self, fn: Callable[[], int]) -> Optional[int]:
+        gen = self._gen
+        try:
+            return fn()
+        except ConnectionLost:
+            if not self._resume(gen):
+                raise
+            return None  # the replay delivered any recorded frame
+
+    def send(self, kind: int, meta: Optional[Dict[str, Any]] = None):
+        return self._guarded(lambda: self.sess.send(kind, meta))
+
+    def send_obj(self, kind: int, obj: Any,
+                 meta: Optional[Dict[str, Any]] = None):
+        return self._guarded(lambda: self.sess.send_obj(kind, obj, meta))
+
+    def _resume(self, gen: int) -> bool:
+        if not self.sess.session:
+            return False
+        with self._lock:
+            if self._gen != gen:
+                return True  # another thread already re-attached
+            if self._given_up:
+                return False
+            backend = self.backend
+            deadline = time.monotonic() + backend.reconnect_deadline
+            retry = backend._retry
+            seed = backend._plan.seed if backend._plan is not None else 0
+            attempt = 0
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._given_up = True
+                    return False
+                try:
+                    conn = connect(
+                        backend._spec.coordinator, "coordinator",
+                        timeout=remaining,
+                    )
+                    conn.send(RESUME, {
+                        "job": "worker", "task": self.lid,
+                        "sess": self.sess.session,
+                    }, seq=0)
+                    conn.settimeout(max(0.05, deadline - time.monotonic()))
+                    ok = conn.recv()
+                    if ok.kind != RESUME_OK:
+                        conn.close()
+                        raise ConnectionLost("coordinator", "resume rejected")
+                    conn.settimeout(None)
+                    self.sess.adopt(conn)
+                    self.sess.replay_from(int(ok.meta.get("last", 0)))
+                    self._gen += 1
+                    return True
+                except SessionUnrecoverable:
+                    self._given_up = True
+                    return False
+                except (ConnectionLost, ProtocolError, socket.timeout):
+                    u = _hash_uniform(seed, self.lid, self._gen, attempt)
+                    pause = min(0.5, retry.jittered_backoff(attempt, u))
+                    attempt += 1
+                    time.sleep(
+                        min(pause, max(0.0, deadline - time.monotonic()))
+                    )
+
+    def close(self) -> None:
+        self.sess.close()
+
+
 def _worker_body(trainer, lid: int) -> None:
     """Drive one learner to completion: HELLO → WELCOME → heartbeats →
     ``_learner_proc`` → RESULT (or ERROR) on the control connection.
@@ -948,16 +1343,25 @@ def _worker_body(trainer, lid: int) -> None:
     spec: ClusterSpec = backend._spec
     if backend._t0 is None:
         backend._t0 = time.perf_counter()
-    ctrl = connect(spec.coordinator, "coordinator", timeout=backend.timeout)
-    ctrl.send(HELLO, {"job": "worker", "task": lid, "pid": os.getpid()})
-    ctrl.settimeout(backend.timeout)
-    welcome = ctrl.recv()
+    raw = connect(spec.coordinator, "coordinator", timeout=backend.timeout)
+    # the bootstrap handshake rides at seq 0, outside the session stream
+    raw.send(HELLO, {"job": "worker", "task": lid, "pid": os.getpid()}, seq=0)
+    raw.settimeout(backend.timeout)
+    welcome = raw.recv()
     if welcome.kind != WELCOME:
         raise ProtocolError(
             f"learner{lid}: expected WELCOME from the coordinator, got "
             f"frame kind {welcome.kind}"
         )
-    ctrl.settimeout(None)
+    raw.settimeout(None)
+    session = welcome.meta.get("sess") or ""
+    ctrl = _WorkerCtrl(backend, lid, SessionConn(raw, session))
+    backend._worker_ctrl = ctrl
+    if session:
+        backend.collective.configure_resume(
+            session, backend.reconnect_deadline, backend._retry,
+            backend._plan.seed if backend._plan is not None else 0,
+        )
     # the forked child inherits the parent's ambient bus (and any open sink
     # file descriptors) — swap it for one that frames each event onto the
     # control connection; the coordinator republishes in authoritative order
@@ -974,7 +1378,7 @@ def _worker_body(trainer, lid: int) -> None:
     hb_stop = threading.Event()
 
     def _beat() -> None:
-        while not hb_stop.wait(_HEARTBEAT_PERIOD):
+        while not hb_stop.wait(backend.heartbeat_interval):
             try:
                 ctrl.send(HEARTBEAT)
             except ConnectionLost:
@@ -1005,6 +1409,7 @@ def _worker_body(trainer, lid: int) -> None:
             "wall_seconds": wall,
             "bytes": backend.collective.bytes_moved + ps_bytes,
             "retries": ps.retries if ps is not None else 0,
+            "backoff": ps.backoff_seconds if ps is not None else 0.0,
             "fault_counts": dict(
                 ps.fault_counts if ps is not None else {},
                 **backend._worker_fault_counts,
@@ -1023,6 +1428,7 @@ def _worker_body(trainer, lid: int) -> None:
                 "retry_exhausted": isinstance(exc, RetryBudgetExhausted),
                 "attempts": getattr(exc, "attempts", 0),
                 "retries": ps.retries if ps is not None else 0,
+                "backoff": ps.backoff_seconds if ps is not None else 0.0,
                 "fault_counts": dict(
                     ps.fault_counts if ps is not None else {},
                     **backend._worker_fault_counts,
@@ -1054,10 +1460,27 @@ class NetBackend(Backend):
     def __init__(self, timeout: float = 120.0, mode: str = "fork",
                  spec: Optional[ClusterSpec] = None,
                  task: Optional[int] = None,
-                 host: str = "127.0.0.1") -> None:
+                 host: str = "127.0.0.1",
+                 heartbeat_interval: float = _HEARTBEAT_PERIOD,
+                 heartbeat_timeout: float = _STALE_AFTER,
+                 reconnect_deadline: float = _RECONNECT_DEADLINE) -> None:
         if mode not in ("fork", "coordinator", "worker"):
             raise ValueError(
                 f"net backend mode must be fork/coordinator/worker, got {mode!r}"
+            )
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({heartbeat_interval}) or every worker "
+                "reads as stale"
+            )
+        if reconnect_deadline < 0:
+            raise ValueError(
+                f"reconnect_deadline must be >= 0, got {reconnect_deadline}"
             )
         if mode == "fork" and "fork" not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
@@ -1073,8 +1496,14 @@ class NetBackend(Backend):
         self.timeout = timeout
         self.mode = mode
         self.host = host
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.reconnect_deadline = reconnect_deadline
         self._spec = spec
         self._task = task
+        self._session = ""  # non-empty iff recovery=reconnect
+        self._worker_ctrl: Optional[_WorkerCtrl] = None  # worker-process side
+        self._backoff_total = 0.0
         self.collective: Optional[NetCollective] = None
         self._trainer = None
         self._ps: Optional[NetParameterServer] = None
@@ -1165,6 +1594,9 @@ class NetBackend(Backend):
                 "are respawned with fresh ports); an externally-launched "
                 "cluster cannot be respawned — use recovery=fail_fast",
             )
+        # reconnect is accepted on every mode: the resume path needs no
+        # respawn.  Only the *degraded* (elastic) fallback does, and respawn
+        # itself raises BackendCapabilityError outside fork mode.
         self._plan = plan
         self._retry = retry if retry is not None else RetryPolicy()
         self._recovery = recovery
@@ -1176,6 +1608,46 @@ class NetBackend(Backend):
         farewell — detection is the coordinator's connection-loss monitor."""
         os._exit(_CRASH_EXIT)
         return True  # pragma: no cover - unreachable
+
+    def fault_disconnect(self, lid: int, step: int) -> None:
+        """Planned disconnect on the real substrate: sever every TCP
+        connection this worker holds — ring, PS shards, control plane — but
+        keep the process alive.  Under ``recovery="reconnect"`` the session
+        layer re-dials and replays; otherwise the next exchange surfaces
+        :class:`ConnectionLost` exactly like an unplanned network cut."""
+        self._worker_fault_counts["disconnect"] = (
+            self._worker_fault_counts.get("disconnect", 0) + 1
+        )
+        # emit before cutting: the event frame needs the live ctrl socket
+        _events.emit(
+            _events.FAULT_INJECTED,
+            source=f"learner{lid}",
+            t=self.clock(),
+            fault="disconnect",
+            learner=lid,
+            step=step,
+        )
+        coll = self.collective
+        if coll is not None:
+            for conn in (coll._next, coll._prev):
+                if conn is not None:
+                    try:
+                        conn.sock.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+        if self._ps is not None:
+            for client in self._ps._clients:
+                for conn in list(client._conns.values()):
+                    if conn is not None:
+                        try:
+                            conn.sock.shutdown(socket.SHUT_RDWR)
+                        except OSError:
+                            pass
+        if self._worker_ctrl is not None:
+            try:
+                self._worker_ctrl.sess.conn.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def fault_sleep(self, lid: int, seconds: float) -> Generator:
         self._worker_fault_counts["straggle"] = (
@@ -1194,7 +1666,12 @@ class NetBackend(Backend):
             raise BackendCapabilityError(
                 "net", "only the local fork cluster can be respawned"
             )
-        return NetBackend(timeout=self.timeout, host=self.host)
+        return NetBackend(
+            timeout=self.timeout, host=self.host,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+            reconnect_deadline=self.reconnect_deadline,
+        )
 
     def attach_processes(self, alive: Dict[int, Callable[[], bool]]) -> None:
         """External mode: per-rank liveness probes for launcher-spawned
@@ -1253,13 +1730,19 @@ class NetBackend(Backend):
                     np.ascontiguousarray(ps._x0[lo:hi]),
                 )
 
+        if self._recovery == "reconnect" and not self._session:
+            self._session = os.urandom(8).hex()
         ctrl = _ControlPlane(
             self._listeners["coordinator"], p,
             expect_ps=0 if fork_mode else n_shards,
             bus=bus, ps_init=ps_init,
+            session=self._session, clock=self.clock,
         ).start()
         self._t0 = time.perf_counter()
         planned = self._plan.crash_learners() if self._plan is not None else {}
+        disconnects = (
+            self._plan.disconnect_learners() if self._plan is not None else {}
+        )
         payloads: dict = {}
         errors: dict = {}
         procs: List[multiprocessing.process.BaseProcess] = []
@@ -1285,7 +1768,7 @@ class NetBackend(Backend):
                 _events.FAILURE_DETECTED,
                 t=now,
                 learner=rank,
-                step=planned.get(rank),
+                step=planned.get(rank, disconnects.get(rank)),
                 detection_seconds=latency,
                 reason=f"control connection to learner{rank} lost without "
                 "a farewell",
@@ -1297,6 +1780,10 @@ class NetBackend(Backend):
             probe = self._ext_alive.get(rank)
             return probe() if probe is not None else None
 
+        reconnecting = self._recovery == "reconnect"
+        grace = self.reconnect_deadline + 1.0
+        lost_since: Dict[int, float] = {}
+
         def _monitor() -> None:
             start = time.monotonic()
             while not monitor_stop.is_set():
@@ -1305,6 +1792,7 @@ class NetBackend(Backend):
                 with ctrl.cond:
                     for rank in range(p):
                         if rank in ctrl.finished or rank in ctrl.dead:
+                            lost_since.pop(rank, None)
                             continue
                         seen = ctrl.last_seen.get(rank, start)
                         connected = rank in ctrl.ever_connected
@@ -1316,10 +1804,25 @@ class NetBackend(Backend):
                         died_early = (
                             not connected and _alive(rank) is False
                         )
-                        stale = now - seen > _STALE_AFTER
-                        if lost or died_early or stale:
-                            deaths.append((rank, now - seen))
-                            ctrl.dead[rank] = now - seen
+                        stale = now - seen > self.heartbeat_timeout
+                        if not (lost or died_early or stale):
+                            lost_since.pop(rank, None)
+                            continue
+                        # reconnect: a silent-but-alive worker gets the
+                        # resume deadline (plus one beat of slack) to
+                        # re-attach before it is declared dead; a process
+                        # that provably exited is declared immediately
+                        if (
+                            reconnecting
+                            and not died_early
+                            and _alive(rank) is not False
+                        ):
+                            first = lost_since.setdefault(rank, now)
+                            if now - first <= grace:
+                                continue
+                        deaths.append((rank, now - seen))
+                        ctrl.dead[rank] = now - seen
+                        lost_since.pop(rank, None)
                     if deaths:
                         ctrl.cond.notify_all()
                 for rank, latency in deaths:
@@ -1406,6 +1909,7 @@ class NetBackend(Backend):
                 self.note_failure(lid, failed_at)
         for data in list(payloads.values()) + list(errors.values()):
             self._retries_total += int(data.get("retries", 0) or 0)
+            self._backoff_total += float(data.get("backoff", 0) or 0)
             for kind, n in (data.get("fault_counts") or {}).items():
                 self._fault_counts[kind] = self._fault_counts.get(kind, 0) + n
         if self._ps is not None:
@@ -1420,9 +1924,10 @@ class NetBackend(Backend):
         # planned crash is labelled from the plan, anything else from the
         # connection wreckage
         planned = self._plan.crash_learners() if self._plan is not None else {}
+        disc = self._plan.disconnect_learners() if self._plan is not None else {}
         for lid in missing:
             if self._failure is None:
-                self.note_failure(lid, planned.get(lid, -1))
+                self.note_failure(lid, planned.get(lid, disc.get(lid, -1)))
             self._fault_counts["crash"] = self._fault_counts.get("crash", 0) + 1
 
         if errors or missing:
@@ -1509,6 +2014,8 @@ class NetBackend(Backend):
         }
         if self._retries_total:
             extras["ps_retries"] = self._retries_total
+        if self._backoff_total:
+            extras["ps_retry_backoff_seconds"] = self._backoff_total
         return RunStats(duration=self._duration, extras=extras)
 
     def publish_fault_obs(self, trainer, sess) -> None:
@@ -1531,6 +2038,10 @@ class NetBackend(Backend):
             sess.registry.counter("faults.retries_total", **labels).inc(
                 self._retries_total
             )
+        if self._backoff_total:
+            sess.registry.counter(
+                "faults.retry_backoff_seconds_total", **labels
+            ).inc(self._backoff_total)
 
     def publish_obs(self, trainer, sess, wall: float) -> None:
         self.publish_fault_obs(trainer, sess)

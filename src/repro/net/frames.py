@@ -53,7 +53,13 @@ __all__ = [
     "HEARTBEAT",
     "STOP",
     "STATS",
+    "RESUME",
+    "RESUME_OK",
     "KIND_NAMES",
+    "SessionConn",
+    "SessionUnrecoverable",
+    "REPLAY_MAX_FRAMES",
+    "REPLAY_MAX_BYTES",
     "connect",
     "bind_listener",
     "parse_addr",
@@ -75,6 +81,8 @@ EVENT = 8      # one repro.obs.events record: worker -> coordinator / sink
 HEARTBEAT = 9  # liveness stamp: worker -> coordinator
 STOP = 10      # drain request: coordinator -> shard
 STATS = 11     # shard's final slice + counters (answers STOP)
+RESUME = 12    # session re-attach: reconnecting peer -> survivor
+RESUME_OK = 13  # re-attach accepted: survivor -> peer (last seq processed)
 
 KIND_NAMES = {
     HELLO: "hello",
@@ -88,6 +96,8 @@ KIND_NAMES = {
     HEARTBEAT: "heartbeat",
     STOP: "stop",
     STATS: "stats",
+    RESUME: "resume",
+    RESUME_OK: "resume_ok",
 }
 
 #: metas stay small; payloads (tensors) are bounded by the model size.  The
@@ -316,3 +326,147 @@ class Conn:
             self.sock.close()
         except OSError:  # pragma: no cover - close is best-effort
             pass
+
+
+#: Replay-buffer bounds per SessionConn.  A lockstep trainer keeps the
+#: un-acked window tiny (a handful of frames), so these caps exist to bound
+#: a pathological peer, not to be hit in healthy runs — overflow marks the
+#: session unrecoverable and the reconnect policy degrades to elastic.
+REPLAY_MAX_FRAMES = 64
+REPLAY_MAX_BYTES = 64 * 1024 * 1024
+
+
+class SessionUnrecoverable(RuntimeError):
+    """The session cannot be resumed: the peer needs frames that have been
+    evicted from the replay buffer (or the buffer itself overflowed)."""
+
+
+class SessionConn:
+    """A :class:`Conn` wrapper whose seq stream survives socket replacement.
+
+    The session — not the socket — owns the seq counter and a bounded replay
+    buffer of sent frames.  When the underlying TCP connection dies, a fresh
+    socket is swapped in with :meth:`adopt` and the peers run the
+    RESUME/RESUME_OK handshake: the reconnecting side reports the session
+    token, the surviving side answers with the last seq it *processed*, and
+    :meth:`replay_from` re-sends everything newer.  This heals TCP's silent
+    first-send loss (a send into a peer-closed socket can succeed into the
+    kernel buffer and vanish).
+
+    HEARTBEAT frames and handshake frames (explicit ``seq=0``) are not
+    recorded — only session-stream frames are replayable.  ``release(seq)``
+    drops acknowledged prefixes so lockstep protocols keep the buffer tiny.
+    """
+
+    def __init__(self, conn: Conn, session: str = "") -> None:
+        self._conn = conn
+        self.peer = conn.peer
+        self.session = session
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._replay: list = []  # [(seq, kind, meta, payload bytes)]
+        self._replay_bytes = 0
+        self.last_recv_seq = 0
+        self.broken = False
+
+    # -- session-stream sending ----------------------------------------------
+
+    def _record_and_send(self, kind: int, meta, payload) -> int:
+        with self._lock:
+            if kind == HEARTBEAT:
+                # liveness stamps ride outside the session stream (seq 0):
+                # they are never replayed, and numbering them would punch
+                # benign holes in the replay buffer's contiguity
+                self._conn._send(kind, meta, payload, 0)
+                return 0
+            self._seq += 1
+            seq = self._seq
+            blob = bytes(payload) if len(payload) else b""
+            self._replay.append((seq, kind, dict(meta or {}), blob))
+            self._replay_bytes += len(blob)
+            while (
+                len(self._replay) > REPLAY_MAX_FRAMES
+                or self._replay_bytes > REPLAY_MAX_BYTES
+            ):
+                _, _, _, old = self._replay.pop(0)
+                self._replay_bytes -= len(old)
+                self.broken = True
+            self._conn._send(kind, meta, payload, seq)
+        return seq
+
+    def send(self, kind: int, meta: Optional[Dict[str, Any]] = None) -> int:
+        return self._record_and_send(kind, meta, b"")
+
+    def send_tensor(self, kind: int, array: np.ndarray,
+                    meta: Optional[Dict[str, Any]] = None) -> int:
+        array = np.ascontiguousarray(array)
+        meta = dict(meta or {})
+        meta["dtype"] = array.dtype.str
+        meta["shape"] = list(array.shape)
+        return self._record_and_send(kind, meta, memoryview(array).cast("B"))
+
+    def send_obj(self, kind: int, obj: Any,
+                 meta: Optional[Dict[str, Any]] = None) -> int:
+        return self._record_and_send(kind, meta, pickle.dumps(obj, protocol=4))
+
+    # -- session-stream receiving --------------------------------------------
+
+    def recv(self) -> Frame:
+        frame = self._conn.recv()
+        if frame.seq > self.last_recv_seq:
+            self.last_recv_seq = frame.seq
+        return frame
+
+    # -- resume plumbing -----------------------------------------------------
+
+    def release(self, seq: int) -> None:
+        """Drop buffered frames with seq <= ``seq`` (peer acknowledged)."""
+        with self._lock:
+            while self._replay and self._replay[0][0] <= seq:
+                _, _, _, blob = self._replay.pop(0)
+                self._replay_bytes -= len(blob)
+
+    def adopt(self, conn: Conn) -> None:
+        """Swap in a fresh socket; seq counter and replay buffer carry over."""
+        with self._lock:
+            old, self._conn = self._conn, conn
+            self.peer = conn.peer
+        old.close()
+
+    def replay_from(self, last_processed: int) -> int:
+        """Re-send every buffered frame with seq > ``last_processed``.
+
+        Returns how many frames were replayed.  Raises
+        :class:`SessionUnrecoverable` when the peer needs a frame that has
+        been evicted (its gap can never be filled).
+        """
+        with self._lock:
+            pending = [f for f in self._replay if f[0] > last_processed]
+            # the session stream is contiguous (heartbeats ride at seq 0), so
+            # every frame in (last_processed, _seq] must still be buffered
+            need = max(0, self._seq - last_processed)
+            if len(pending) < need:
+                raise SessionUnrecoverable(
+                    f"{self.peer}: peer resumed at seq {last_processed} but "
+                    f"{need - len(pending)} newer frame(s) were evicted from "
+                    f"the replay buffer"
+                )
+            for seq, kind, meta, blob in pending:
+                self._conn._send(kind, meta, blob, seq)
+        return len(pending)
+
+    # -- passthrough ---------------------------------------------------------
+
+    @property
+    def sock(self) -> socket.socket:
+        return self._conn.sock
+
+    @property
+    def conn(self) -> Conn:
+        return self._conn
+
+    def settimeout(self, seconds: Optional[float]) -> None:
+        self._conn.settimeout(seconds)
+
+    def close(self) -> None:
+        self._conn.close()

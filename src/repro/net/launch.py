@@ -28,6 +28,7 @@ from __future__ import annotations
 import os
 import subprocess
 import sys
+import threading
 from typing import Dict, List, Optional, Tuple
 
 from .backend import NetBackend, run_ps_role
@@ -171,6 +172,36 @@ def launch(
         return 0
 
     procs: Dict[Tuple[str, int], subprocess.Popen] = {}
+    watchdog_stop = threading.Event()
+
+    def _watchdog() -> None:
+        # a role that exits non-zero can never rejoin the run: tear the rest
+        # of the cluster down instead of letting the rendezvous (or a ring
+        # exchange) wait out the full timeout on its corpse
+        while not watchdog_stop.wait(0.25):
+            dead = [
+                (jt, proc.returncode)
+                for jt, proc in procs.items()
+                if proc.poll() is not None and proc.returncode != 0
+            ]
+            if not dead:
+                continue
+            names = ", ".join(
+                f"{job}:{task} (exit {rc})" for (job, task), rc in dead
+            )
+            print(
+                f"launch: role process died: {names}; "
+                "tearing down the cluster",
+                file=sys.stderr,
+            )
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.terminate()
+            return
+
+    watchdog = threading.Thread(
+        target=_watchdog, name="launch-watchdog", daemon=True
+    )
     try:
         for job, task in [("ps", s) for s in range(n_shards)] + [
             ("worker", i) for i in range(p)
@@ -191,17 +222,30 @@ def launch(
                 ],
                 env=env,
             )
-        code = _run_coordinator(spec, cluster, timeout, procs)
+        watchdog.start()
+        try:
+            code = _run_coordinator(spec, cluster, timeout, procs)
+        except RuntimeError as exc:
+            # LearnerFailure / RetryBudgetExhausted / a failed rendezvous:
+            # report it as a launch failure, not a traceback
+            print(f"launch failed: {exc}", file=sys.stderr)
+            code = 1
     finally:
+        watchdog_stop.set()
+        if watchdog.is_alive():
+            watchdog.join(timeout=2.0)
         _reap(procs, grace=5.0)
-        leftovers: List[str] = [
-            f"{job}:{task}"
-            for (job, task), proc in procs.items()
-            if proc.returncode not in (0, None) and job != "worker"
+        failed: List[str] = [
+            f"{job}:{task} (exit {proc.returncode})"
+            for (job, task), proc in sorted(procs.items())
+            if proc.returncode not in (0, None)
         ]
-        if leftovers:
+        if failed:
             print(
-                f"note: role processes exited non-zero: {', '.join(leftovers)}",
+                f"note: role processes exited non-zero: {', '.join(failed)}",
                 file=sys.stderr,
             )
+    if code == 0 and failed:
+        # every role must finish cleanly for the launch to count as a success
+        code = 1
     return code

@@ -304,6 +304,12 @@ class RunSnapshot:
                 learner["status"] = "crashed"
                 if event.data.get("step") is not None:
                     learner["step"] = int(event.data["step"])
+        elif kind == "disconnect":
+            learner = self.learners.get(event.source)
+            if learner is not None:
+                learner["status"] = "disconnected"
+                if event.data.get("step") is not None:
+                    learner["step"] = int(event.data["step"])
         elif kind == "ps_crash":
             shard = self.shards.setdefault(
                 event.source, {"status": "up", "restarts": 0}
@@ -325,6 +331,13 @@ class RunSnapshot:
             )
             shard["status"] = "up"
             shard["restarts"] = int(shard.get("restarts", 0)) + 1
+        elif event.data.get("action") == "reconnect":
+            lid = event.data.get("learner")
+            learner = self.learners.get(f"learner{lid}") if lid is not None else None
+            if learner is not None and learner["status"] in (
+                "disconnected", "dead"
+            ):
+                learner["status"] = "running"
 
     def _on_checkpoint_written(self, event: Event) -> None:
         self.totals["checkpoints"] += 1

@@ -98,7 +98,8 @@ _registry.BACKENDS.register(
     description="one OS process per learner over shared-memory collectives",
     capabilities=(
         "real wall-clock on host cores; recovery: fail_fast, elastic, "
-        "restart_shard; no machine= (the hardware is the model)"
+        "restart_shard; heartbeat_interval=/heartbeat_timeout= tune failure "
+        "detection; no machine= (the hardware is the model)"
     ),
 )
 _registry.BACKENDS.register(
@@ -106,7 +107,10 @@ _registry.BACKENDS.register(
     description="one OS process per learner/shard over TCP (cluster spec)",
     capabilities=(
         "loopback or multi-host via `repro launch`; recovery: fail_fast, "
-        "elastic (local cluster only); no machine=, no restart_shard"
+        "elastic (local cluster only), reconnect (session resume, degrades "
+        "to elastic); heartbeat_interval=/heartbeat_timeout=/"
+        "reconnect_deadline= tune detection and resume; no machine=, no "
+        "restart_shard"
     ),
 )
 

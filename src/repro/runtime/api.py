@@ -366,6 +366,25 @@ class Backend(ABC):
         self.note_failure(lid, step)
         return True
 
+    def fault_disconnect(self, lid: int, step: int) -> None:
+        """Sever learner ``lid``'s transport connections after ``step`` steps.
+
+        The net backend closes the worker's real TCP sockets (control, ring,
+        PS) so the run exercises reconnect-and-resume; backends with no wire
+        to cut (sim, mp shared memory) record the injection as an event and
+        continue — an honest no-op, not a modelled crash.
+        """
+        from ..obs import events as _events
+
+        _events.emit(
+            _events.FAULT_INJECTED,
+            source=f"learner{lid}",
+            t=self.clock(),
+            fault="disconnect",
+            learner=lid,
+            step=step,
+        )
+
     def fault_sleep(self, lid: int, seconds: float) -> Generator:
         """Coroutine that stalls learner ``lid`` for ``seconds``.
 

@@ -71,6 +71,8 @@ import numpy as np
 
 from ..faults.plan import FaultPlan, RetryPolicy
 from ..faults.supervisor import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_HEARTBEAT_TIMEOUT,
     HeartbeatThread,
     LivenessBlock,
     PollingBarrier,
@@ -766,7 +768,9 @@ def _worker_main(trainer, lid: int, result_q) -> None:
     liveness: Optional[LivenessBlock] = backend._liveness
     heartbeat = None
     if liveness is not None:
-        heartbeat = HeartbeatThread(liveness, lid).start()
+        heartbeat = HeartbeatThread(
+            liveness, lid, interval=backend.heartbeat_interval
+        ).start()
     t0 = time.perf_counter()
     try:
         for command in trainer._learner_proc(lid):
@@ -836,7 +840,9 @@ class MPBackend(Backend):
 
     name = "mp"
 
-    def __init__(self, timeout: float = 120.0, start_method: str = "fork") -> None:
+    def __init__(self, timeout: float = 120.0, start_method: str = "fork",
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT) -> None:
         if start_method not in multiprocessing.get_all_start_methods():
             raise RuntimeError(
                 f"mp backend needs the {start_method!r} start method "
@@ -847,8 +853,20 @@ class MPBackend(Backend):
             raise RuntimeError(
                 "mp backend currently supports only the 'fork' start method"
             )
+        if heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be > 0, got {heartbeat_interval}"
+            )
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ValueError(
+                f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({heartbeat_interval}) or every worker "
+                "reads as stale"
+            )
         self._ctx = multiprocessing.get_context(start_method)
         self.timeout = timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
         self.collective: Optional[MPCollective] = None
         self._trainer = None
         self._ps: Optional[MPParameterServer] = None
@@ -946,7 +964,11 @@ class MPBackend(Backend):
         return blocking(time.sleep, seconds)
 
     def respawn(self) -> "MPBackend":
-        return MPBackend(timeout=self.timeout)
+        return MPBackend(
+            timeout=self.timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            heartbeat_timeout=self.heartbeat_timeout,
+        )
 
     # -- the run driver -----------------------------------------------------
 
@@ -1034,6 +1056,7 @@ class MPBackend(Backend):
             monitor = WorkerMonitor(
                 self._liveness,
                 {lid: procs[lid].is_alive for lid in range(p)},
+                heartbeat_timeout=self.heartbeat_timeout,
                 on_death=_on_death,
             ).start()
             # drain results BEFORE joining: a worker blocks at exit until its

@@ -1,0 +1,268 @@
+"""Suite for ``repro.chaos`` — the seeded chaos soak harness.
+
+Pins the contracts the CI soak job leans on:
+
+* **Determinism** — a schedule is a pure function of (seed, round,
+  backend); the same seed replays the same chaos, and on the sim backend
+  two identical rounds produce byte-identical event streams (equal
+  digests).
+* **Pools** — each backend only draws faults it can actually inject, and
+  ``ps_crash`` disappears when the scenario has no PS shards.
+* **Invariants** — the checkers catch seq gaps, malformed recovery
+  events, and unknown fault kinds in synthetic streams.
+* **Minimization** — a violating schedule is greedily reduced to the
+  smallest subset that still reproduces.
+* **CLI** — ``repro chaos SPEC --rounds N`` runs a soak and exits 0 when
+  every invariant holds.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    BACKEND_FAULT_POOLS,
+    RoundResult,
+    draw_schedule,
+    minimize_schedule,
+    run_round,
+    schedule_digest,
+    soak,
+)
+from repro.chaos.harness import _check_events
+from repro.obs import events as obs_events
+from repro.spec import load_spec
+
+_SPEC_DOC = {
+    "name": "chaos_smoke",
+    "problem": "cifar",
+    "problem_args": {"scale": "unit", "seed": 1},
+    "algorithm": "downpour",
+    "options": {"T": 2, "n_shards": 1},
+    "config": {"p": 2, "epochs": 1, "batch_size": 8, "lr": 0.02, "seed": 3},
+    "backend": "sim",
+}
+
+
+@pytest.fixture()
+def spec(tmp_path):
+    path = tmp_path / "chaos_smoke.json"
+    path.write_text(json.dumps(_SPEC_DOC))
+    return load_spec(str(path))
+
+
+# --------------------------------------------------------------------------
+# schedule generation: seeded, pooled, reproducible
+# --------------------------------------------------------------------------
+
+
+def test_draw_schedule_is_a_pure_function_of_its_arguments():
+    for backend in ("sim", "mp", "net"):
+        for rnd in range(5):
+            a = draw_schedule(42, rnd, backend, p=4, n_shards=2)
+            b = draw_schedule(42, rnd, backend, p=4, n_shards=2)
+            assert a == b
+            assert schedule_digest(a) == schedule_digest(b)
+
+
+def test_draw_schedule_rounds_differ_and_backends_decorrelate():
+    streams = {
+        (backend, rnd): schedule_digest(
+            draw_schedule(7, rnd, backend, p=4, n_shards=2)
+        )
+        for backend in ("sim", "mp", "net")
+        for rnd in range(6)
+    }
+    # 18 draws from decorrelated streams: collisions would mean the pool id
+    # or round index is not feeding the seed sequence
+    assert len(set(streams.values())) > 10
+
+
+def test_draw_schedule_respects_backend_pools():
+    for backend, pool in BACKEND_FAULT_POOLS.items():
+        for rnd in range(20):
+            for fault in draw_schedule(3, rnd, backend, p=4, n_shards=2):
+                assert fault["kind"] in pool, (backend, fault)
+
+
+def test_draw_schedule_drops_ps_crash_without_shards():
+    for rnd in range(30):
+        for fault in draw_schedule(5, rnd, "sim", p=4, n_shards=0):
+            assert fault["kind"] != "ps_crash"
+
+
+def test_draw_schedule_never_kills_the_whole_cohort():
+    for rnd in range(30):
+        for backend in ("sim", "mp", "net"):
+            faults = draw_schedule(11, rnd, backend, p=2, n_shards=1)
+            fatal = {
+                f["learner"] for f in faults if f["kind"] == "crash"
+            }
+            assert len(fatal) <= 1  # p-1 survivors guaranteed
+
+
+def test_draw_schedule_unknown_backend_is_a_value_error():
+    with pytest.raises(ValueError, match="no chaos fault pool"):
+        draw_schedule(0, 0, "gpu", p=2)
+
+
+# --------------------------------------------------------------------------
+# invariant checkers on synthetic streams
+# --------------------------------------------------------------------------
+
+
+def _event(kind, seq, **data):
+    return obs_events.Event(kind=kind, data=data, source="t", t=0.0, seq=seq)
+
+
+def test_check_events_flags_seq_gaps():
+    violations = []
+    _check_events(
+        [_event(obs_events.RUN_STARTED, 0), _event(obs_events.RUN_FINISHED, 2)],
+        violations,
+    )
+    assert violations and "seq gaps" in violations[0]
+
+
+def test_check_events_flags_malformed_recovery_actions():
+    violations = []
+    _check_events(
+        [
+            _event(obs_events.RECOVERY_ACTION, 0, action="elastic_restart"),
+            _event(obs_events.RECOVERY_ACTION, 1, action="warp_cores"),
+        ],
+        violations,
+    )
+    assert any("missing/invalid" in v for v in violations)
+    assert any("unknown action" in v for v in violations)
+
+
+def test_check_events_flags_unknown_fault_kinds():
+    violations = []
+    _check_events(
+        [_event(obs_events.FAULT_INJECTED, 0, fault="bitflip")], violations
+    )
+    assert violations and "unknown fault" in violations[0]
+
+
+def test_check_events_accepts_a_wellformed_stream():
+    violations = []
+    _check_events(
+        [
+            _event(obs_events.FAULT_INJECTED, 3, fault="crash", learner=1),
+            _event(
+                obs_events.RECOVERY_ACTION, 4, action="elastic_restart",
+                failed_learner=1, survivors=1, restarts=1,
+            ),
+            _event(
+                obs_events.RECOVERY_ACTION, 5, action="reconnect", learner=1,
+            ),
+        ],
+        violations,
+    )
+    assert violations == []
+
+
+# --------------------------------------------------------------------------
+# schedule minimization
+# --------------------------------------------------------------------------
+
+
+def test_minimize_schedule_reduces_to_the_culprit():
+    faults = [
+        {"kind": "straggle", "learner": 0, "factor": 2.0, "start": 1, "stop": 2},
+        {"kind": "crash", "learner": 1, "step": 3},
+        {"kind": "delay", "learner": 0, "nth": 1, "count": 1, "seconds": 0.1},
+    ]
+
+    def reproduces(subset):
+        return any(f["kind"] == "crash" for f in subset)
+
+    assert minimize_schedule(reproduces, faults) == [
+        {"kind": "crash", "learner": 1, "step": 3}
+    ]
+
+
+def test_minimize_schedule_keeps_an_irreducible_pair():
+    faults = [
+        {"kind": "crash", "learner": 0, "step": 2},
+        {"kind": "crash", "learner": 1, "step": 2},
+        {"kind": "delay", "learner": 0, "nth": 1, "count": 1, "seconds": 0.1},
+    ]
+
+    def reproduces(subset):
+        return sum(f["kind"] == "crash" for f in subset) >= 2
+
+    got = minimize_schedule(reproduces, faults)
+    assert sorted(f["learner"] for f in got) == [0, 1]
+    assert all(f["kind"] == "crash" for f in got)
+
+
+# --------------------------------------------------------------------------
+# round execution on the sim backend: reproducible end to end
+# --------------------------------------------------------------------------
+
+
+def test_run_round_sim_is_bit_reproducible(spec):
+    faults = draw_schedule(9, 0, "sim", p=2, n_shards=1)
+    a = run_round(spec, "sim", faults, fault_seed=77)
+    b = run_round(spec, "sim", faults, fault_seed=77)
+    assert a.passed and b.passed
+    assert a.n_events == b.n_events > 0
+    assert a.event_digest == b.event_digest  # identical event stream bytes
+    assert a.schedule_digest == b.schedule_digest
+
+
+def test_soak_passes_and_reports_on_sim(spec, tmp_path):
+    report = soak(spec, "chaos_smoke.json", ["sim"], rounds=2, seed=4)
+    assert report.passed
+    assert len(report.rounds) == 2
+    doc = report.to_dict()
+    assert doc["passed"] is True
+    assert {r["backend"] for r in doc["rounds"]} == {"sim"}
+    assert all(r["schedule_digest"] for r in doc["rounds"])
+    assert all(isinstance(r, RoundResult) for r in report.rounds)
+
+
+def test_soak_replays_identically_for_the_same_seed(spec):
+    a = soak(spec, "s.json", ["sim"], rounds=2, seed=21)
+    b = soak(spec, "s.json", ["sim"], rounds=2, seed=21)
+    assert [r.schedule_digest for r in a.rounds] == [
+        r.schedule_digest for r in b.rounds
+    ]
+    assert [r.event_digest for r in a.rounds] == [
+        r.event_digest for r in b.rounds
+    ]
+
+
+# --------------------------------------------------------------------------
+# the CLI entry point
+# --------------------------------------------------------------------------
+
+
+def test_cli_chaos_runs_a_soak_and_writes_the_report(tmp_path, capsys):
+    from repro.__main__ import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(_SPEC_DOC))
+    out_path = tmp_path / "report.json"
+    code = main([
+        "chaos", str(spec_path), "--rounds", "1", "--seed", "2",
+        "--backends", "sim", "--out", str(out_path),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "all invariants held" in printed
+    report = json.loads(out_path.read_text())
+    assert report["passed"] is True
+    assert len(report["rounds"]) == 1
+
+
+def test_cli_chaos_rejects_experiment_specs(tmp_path, capsys):
+    from repro.__main__ import main
+
+    spec_path = tmp_path / "exp.json"
+    spec_path.write_text(json.dumps({"experiment": "fig3", "params": {}}))
+    code = main(["chaos", str(spec_path), "--rounds", "1"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err

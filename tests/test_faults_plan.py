@@ -144,8 +144,69 @@ def test_survivor_plan_keeps_only_ps_faults():
 
 
 # --------------------------------------------------------------------------
+# disconnect faults (recovery=reconnect's trigger)
+# --------------------------------------------------------------------------
+
+
+def test_disconnect_grammar_and_queries():
+    plan = FaultPlan.parse("disconnect:learner=1,step=4;disconnect:learner=0,step=2")
+    assert plan.disconnect_step(1) == 4
+    assert plan.disconnect_step(0) == 2
+    assert plan.disconnect_step(2) is None
+    assert plan.disconnect_learners() == {0: 2, 1: 4}
+
+
+def test_disconnect_requires_learner_and_step():
+    with pytest.raises(ValueError, match="disconnect fault needs"):
+        Fault(kind="disconnect", learner=1)
+    with pytest.raises(ValueError, match="disconnect fault needs"):
+        Fault(kind="disconnect", step=3)
+
+
+def test_survivor_plan_drops_the_victims_disconnect():
+    plan = FaultPlan.parse("disconnect:learner=1,step=4")
+    assert plan.survivor_plan(1).disconnect_step(1) is None
+
+
+# --------------------------------------------------------------------------
 # retry policy
 # --------------------------------------------------------------------------
+
+
+def test_jittered_backoff_brackets_the_deterministic_schedule():
+    retry = RetryPolicy(base_seconds=0.1, multiplier=2.0, jitter=0.5)
+    for attempt in range(4):
+        base = retry.backoff(attempt)
+        lo = retry.jittered_backoff(attempt, 0.0)
+        hi = retry.jittered_backoff(attempt, 1.0)
+        mid = retry.jittered_backoff(attempt, 0.5)
+        assert lo == pytest.approx(0.5 * base)
+        assert hi == pytest.approx(1.5 * base)
+        assert mid == pytest.approx(base)
+
+
+def test_zero_jitter_is_exactly_the_plain_backoff():
+    retry = RetryPolicy(base_seconds=0.05)
+    assert retry.jittered_backoff(2, 0.123) == retry.backoff(2)
+
+
+def test_hash_uniform_is_deterministic_and_rank_decorrelated():
+    from repro.faults.plan import _hash_uniform
+
+    draws = {(r, a): _hash_uniform(7, r, 0, a) for r in range(4) for a in range(4)}
+    again = {(r, a): _hash_uniform(7, r, 0, a) for r in range(4) for a in range(4)}
+    assert draws == again  # pure function of the words
+    assert all(0.0 <= u < 1.0 for u in draws.values())
+    assert len(set(draws.values())) == len(draws)  # ranks don't collide
+
+
+def test_retry_deadline_and_jitter_validation():
+    with pytest.raises(ValueError, match="jitter"):
+        RetryPolicy(jitter=1.5)
+    with pytest.raises(ValueError, match="deadline_seconds"):
+        RetryPolicy(deadline_seconds=0.0)
+    assert RetryPolicy(deadline_seconds=2.5).deadline_seconds == 2.5
+    assert RetryPolicy().deadline_seconds is None  # opt-in: default unbounded
 
 
 def test_retry_backoff_schedule():

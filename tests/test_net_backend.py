@@ -189,6 +189,114 @@ def test_net_elastic_recovery_finishes_with_survivors():
 
 
 # --------------------------------------------------------------------------
+# reconnect-and-resume recovery: heal the session, keep the cohort
+# --------------------------------------------------------------------------
+
+
+@needs_fork
+def test_net_reconnect_resumes_full_cohort_and_matches_sim():
+    # a mid-run TCP disconnect under recovery="reconnect": the victim
+    # re-dials, RESUME/RESUME_OK replays the un-acked frames, and the run
+    # finishes with all p learners — no respawn, no degradation — landing
+    # on the same parameters as an undisturbed sim run
+    sim = _make_trainer("sasgd")
+    sim.train()
+    net = _make_trainer(
+        "sasgd",
+        backend=NetBackend(timeout=60.0),
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("disconnect:learner=1,step=3"),
+            recovery="reconnect",
+        ),
+    )
+    sink = obs_events.InMemorySink()
+    with obs_events.use_events(obs_events.EventBus(sinks=[sink])):
+        res = net.train()
+    assert res.records
+    assert res.extras["workers"] == 2  # resumed, not degraded
+    a = np.asarray(sim.workloads[0].flat.data, np.float64)
+    b = np.asarray(net.workloads[0].flat.data, np.float64)
+    np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-5)
+    assert any(
+        e.kind == obs_events.FAULT_INJECTED
+        and e.data.get("fault") == "disconnect"
+        for e in sink.events
+    )
+    resumes = [
+        e.data for e in sink.events
+        if e.kind == obs_events.RECOVERY_ACTION
+        and e.data.get("action") == "reconnect"
+    ]
+    assert resumes, "no reconnect recovery event was emitted"
+    assert resumes[0].get("mode") == "reconnect"
+    assert resumes[0].get("learner") == 1
+
+
+@needs_fork
+def test_net_reconnect_deadline_expiry_degrades_to_elastic():
+    # reconnect_deadline=0 is the deterministic never-resume knob: the
+    # victim's resume loop gives up immediately, the coordinator declares
+    # it dead, and the reconnect policy degrades to an elastic restart
+    # with the p-1 survivors
+    trainer = _make_trainer(
+        "downpour",
+        backend=NetBackend(timeout=60.0, reconnect_deadline=0.0),
+        fault_ctx=FaultContext(
+            plan=FaultPlan.parse("disconnect:learner=1,step=6"),
+            recovery="reconnect",
+        ),
+    )
+    sink = obs_events.InMemorySink()
+    with obs_events.use_events(obs_events.EventBus(sinks=[sink])):
+        res = trainer.train()
+    assert res.records
+    assert all(np.isfinite(r.train_loss) for r in res.records)
+    degraded = [
+        e.data for e in sink.events
+        if e.kind == obs_events.RECOVERY_ACTION
+        and e.data.get("action") == "reconnect_degraded"
+    ]
+    assert degraded, "deadline expiry did not degrade to elastic"
+    assert degraded[0]["failed_learner"] == 1
+    assert degraded[0]["survivors"] == 1
+
+
+def test_net_heartbeat_and_reconnect_options_validated():
+    with pytest.raises(ValueError, match="heartbeat_interval"):
+        NetBackend(heartbeat_interval=0.0)
+    with pytest.raises(ValueError, match="heartbeat_timeout"):
+        NetBackend(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+    with pytest.raises(ValueError, match="reconnect_deadline"):
+        NetBackend(reconnect_deadline=-1.0)
+
+
+def test_make_backend_exposes_detection_tuning():
+    backend = make_backend(
+        "net", heartbeat_interval=0.1, heartbeat_timeout=2.0,
+        reconnect_deadline=5.0,
+    )
+    assert backend.heartbeat_interval == 0.1
+    assert backend.heartbeat_timeout == 2.0
+    assert backend.reconnect_deadline == 5.0
+    mp_backend = make_backend(
+        "mp", heartbeat_interval=0.1, heartbeat_timeout=2.0
+    )
+    assert mp_backend.heartbeat_timeout == 2.0
+    with pytest.raises(ValueError, match="heartbeat_timeout"):
+        make_backend("mp", heartbeat_interval=3.0, heartbeat_timeout=1.0)
+
+
+def test_registry_notes_reconnect_and_heartbeat_tuning():
+    from repro.spec import registry
+
+    net_caps = registry.BACKENDS.meta("net")["capabilities"]
+    assert "reconnect" in net_caps
+    assert "heartbeat_interval=" in net_caps
+    assert "reconnect_deadline=" in net_caps
+    assert "heartbeat_interval=" in registry.BACKENDS.meta("mp")["capabilities"]
+
+
+# --------------------------------------------------------------------------
 # capability honesty: typed errors, not tracebacks
 # --------------------------------------------------------------------------
 
@@ -340,6 +448,22 @@ def test_launch_print_commands_covers_every_role(tmp_path, capsys):
     for role in ("coordinator:0", "ps:0", "worker:0", "worker:1"):
         assert f"--role {role}" in out
     assert "REPRO_CLUSTER_SPEC" in out
+
+
+@needs_fork
+def test_launch_propagates_role_death_as_nonzero_exit(tmp_path, capsys):
+    # a worker role that dies (real os._exit, no farewell) must surface as
+    # a non-zero launch exit — and as a message, not a traceback
+    from repro.net.launch import launch
+
+    spec = dict(_LAUNCH_SPEC)
+    spec["faults"] = ["crash:learner=1,step=2"]
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(spec))
+    assert launch(str(path), timeout=60.0) != 0
+    err = capsys.readouterr().err
+    assert "launch failed" in err
+    assert "exit" in err  # the dead role and its exit code are named
 
 
 def test_launch_runs_a_loopback_cluster(tmp_path, capsys):

@@ -34,13 +34,17 @@ from repro.net.cluster import (
 )
 from repro.net.frames import (
     DATA,
+    HEARTBEAT,
     HELLO,
     MAGIC,
     PROTOCOL_VERSION,
+    REPLAY_MAX_FRAMES,
     RESULT,
     Conn,
     ConnectionLost,
     ProtocolError,
+    SessionConn,
+    SessionUnrecoverable,
     bind_listener,
     connect,
     listener_addr,
@@ -185,6 +189,191 @@ def test_implausible_lengths_are_a_protocol_error():
     finally:
         raw.close()
         server.close()
+
+
+# --------------------------------------------------------------------------
+# seeded fuzz: adversarial bytes must die typed, fast, and closed
+# --------------------------------------------------------------------------
+
+_TYPED = (ProtocolError, ConnectionLost)
+
+
+def _expect_typed_error(server):
+    """recv() must raise the protocol's typed errors — never hang (the 5 s
+    timeout would surface as socket.timeout) and never a bare OSError."""
+    server.settimeout(5.0)
+    with pytest.raises(Exception) as err:
+        server.recv()
+    assert isinstance(err.value, _TYPED), (
+        f"expected ProtocolError/ConnectionLost, got "
+        f"{type(err.value).__name__}: {err.value}"
+    )
+    server.close()
+    assert server.sock.fileno() == -1  # close() really released the fd
+
+
+def test_fuzz_garbage_headers_are_typed_errors():
+    rng = np.random.default_rng(0xC0FFEE)
+    for _ in range(25):
+        junk = bytearray(rng.integers(0, 256, size=20, dtype=np.uint8).tobytes())
+        if bytes(junk[:2]) == MAGIC:
+            junk[0] ^= 0xFF  # keep the draw adversarial, not accidentally valid
+        raw, server = _raw_pair()
+        try:
+            raw.sendall(bytes(junk))
+            raw.close()
+            _expect_typed_error(server)
+        finally:
+            raw.close()
+            server.close()
+
+
+def test_fuzz_truncated_headers_are_connection_lost():
+    rng = np.random.default_rng(0xB0BA)
+    header = _HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, 1, 16, 0)
+    for _ in range(20):
+        cut = int(rng.integers(1, len(header)))
+        raw, server = _raw_pair()
+        try:
+            raw.sendall(header[:cut])
+            raw.close()
+            server.settimeout(5.0)
+            with pytest.raises(ConnectionLost):
+                server.recv()
+        finally:
+            raw.close()
+            server.close()
+
+
+def test_fuzz_oversized_lengths_are_protocol_errors():
+    # the payload length cap (1 << 34) exceeds what the 4-byte wire field
+    # can express, so only meta_len is oversizable on the wire
+    from repro.net.frames import _MAX_META
+
+    rng = np.random.default_rng(0xFEED)
+    for _ in range(20):
+        meta_len = int(rng.integers(_MAX_META + 1, 1 << 32))
+        payload_len = int(rng.integers(0, 1 << 32))
+        raw, server = _raw_pair()
+        try:
+            raw.sendall(
+                _HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, 1,
+                             meta_len, payload_len)
+            )
+            server.settimeout(5.0)
+            with pytest.raises(ProtocolError, match="implausible"):
+                server.recv()
+        finally:
+            raw.close()
+            server.close()
+
+
+def test_fuzz_midstream_desync_after_a_valid_frame():
+    # one good frame, then garbage: the reader must deliver the first and
+    # reject the rest without smearing state across the boundary
+    rng = np.random.default_rng(0xD5)
+    meta = json.dumps({"role": "worker"}).encode()
+    good = _HEADER.pack(MAGIC, PROTOCOL_VERSION, HELLO, 1, len(meta), 0) + meta
+    for _ in range(15):
+        junk = bytearray(
+            rng.integers(0, 256, size=int(rng.integers(1, 64)),
+                         dtype=np.uint8).tobytes()
+        )
+        if len(junk) >= 2 and bytes(junk[:2]) == MAGIC:
+            junk[0] ^= 0xFF
+        raw, server = _raw_pair()
+        try:
+            raw.sendall(good + bytes(junk))
+            raw.close()
+            server.settimeout(5.0)
+            frame = server.recv()
+            assert frame.kind == HELLO and frame.meta == {"role": "worker"}
+            _expect_typed_error(server)
+        finally:
+            raw.close()
+            server.close()
+
+
+# --------------------------------------------------------------------------
+# SessionConn: the replayable seq stream under the reconnect policy
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def session_pair():
+    """(client SessionConn, server Conn) plus a factory for replacements."""
+    listener = bind_listener("127.0.0.1:0")
+    addr = listener_addr(listener)
+
+    def fresh():
+        conn = connect(addr, "server", timeout=5.0)
+        sock, _ = listener.accept()
+        return conn, Conn(sock, "client")
+
+    conn, server = fresh()
+    sess = SessionConn(conn, session="deadbeef")
+    yield sess, server, fresh
+    sess.close()
+    server.close()
+    listener.close()
+
+
+def test_session_numbers_frames_but_not_heartbeats(session_pair):
+    sess, server, _ = session_pair
+    assert sess.send(HELLO, {"n": 1}) == 1
+    assert sess.send(HEARTBEAT, {"t": 0.0}) == 0  # outside the stream
+    assert sess.send(HELLO, {"n": 2}) == 2
+    seqs = [server.recv().seq for _ in range(3)]
+    assert seqs == [1, 0, 2]
+
+
+def test_session_replay_after_adopt_fills_exactly_the_gap(session_pair):
+    sess, server, fresh = session_pair
+    sess.send(HELLO, {"n": 1})
+    sess.send_obj(RESULT, {"x": 2}, {"n": 2})
+    sess.send_tensor(DATA, np.arange(3, dtype=np.float32), {"n": 3})
+    # the peer only processed seq 1 before the socket died
+    assert server.recv().seq == 1
+    server.close()
+    replacement, server2 = fresh()
+    sess.adopt(replacement)
+    assert sess.replay_from(1) == 2
+    frames = [server2.recv() for _ in range(2)]
+    assert [f.seq for f in frames] == [2, 3]
+    assert frames[0].obj() == {"x": 2}
+    np.testing.assert_array_equal(
+        frames[1].tensor(), np.arange(3, dtype=np.float32)
+    )
+    server2.close()
+
+
+def test_session_release_then_stale_resume_is_unrecoverable(session_pair):
+    sess, server, _ = session_pair
+    for n in (1, 2, 3):
+        sess.send(HELLO, {"n": n})
+    sess.release(2)  # peer acked through seq 2; frames 1-2 dropped
+    with pytest.raises(SessionUnrecoverable, match="evicted"):
+        sess.replay_from(1)  # a peer claiming seq 1 now needs frame 2
+    assert sess.replay_from(2) == 1  # the honest resume still works
+
+
+def test_session_eviction_overflow_marks_broken(session_pair):
+    sess, server, _ = session_pair
+    for n in range(REPLAY_MAX_FRAMES + 5):
+        sess.send(HELLO, {"n": n})
+    assert sess.broken
+    with pytest.raises(SessionUnrecoverable):
+        sess.replay_from(0)
+
+
+def test_session_recv_tracks_high_water_mark(session_pair):
+    sess, server, _ = session_pair
+    server_sess = SessionConn(server, session="deadbeef")
+    for n in (1, 2, 3):
+        server_sess.send(HELLO, {"n": n})
+    for _ in range(3):
+        sess.recv()
+    assert sess.last_recv_seq == 3
 
 
 # --------------------------------------------------------------------------

@@ -42,7 +42,9 @@ def test_registries_populate_at_definition_site():
     assert "sasgd" in reg.TRAINERS and "downpour" in reg.TRAINERS
     assert "cifar" in reg.PROBLEMS and "nlcf" in reg.PROBLEMS
     assert "fat_tree" in reg.MACHINES and "torus" in reg.MACHINES
-    assert set(reg.RECOVERY) == {"fail_fast", "elastic", "restart_shard"}
+    assert set(reg.RECOVERY) == {
+        "fail_fast", "elastic", "restart_shard", "reconnect",
+    }
     assert set(reg.BACKENDS) == {"sim", "mp", "net"}
     assert "fig7" in reg.EXPERIMENTS and "table1" in reg.EXPERIMENTS
     assert set(REGISTRIES) == {
